@@ -1,0 +1,114 @@
+"""BLOB — bulk binary data via blobs vs string marshaling (§III-B).
+
+"scientific users of native code languages often desire to operate on
+bulk data in arrays.  The Swift approach to these is to handle pointers
+to byte arrays as a novel type: blob."
+
+Baseline: printing doubles into text and re-parsing (what a
+string-typed interface would force).  Shape: blob cost is ~memcpy and
+grows slowly with N; string marshaling is many times slower and the gap
+widens with N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blob import (
+    blob_from_floats,
+    blob_to_floats,
+    floats_from_string,
+    floats_to_string,
+)
+
+SIZES = [100, 10_000, 1_000_000]
+
+
+def data(n: int) -> np.ndarray:
+    return np.random.RandomState(0).uniform(-1e3, 1e3, n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_blob_round_trip(benchmark, n):
+    values = data(n)
+
+    def run():
+        return blob_to_floats(blob_from_floats(values))
+
+    out = benchmark(run)
+    assert out.size == n
+    benchmark.extra_info["n_doubles"] = n
+    benchmark.extra_info["path"] = "blob"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_string_marshal_round_trip(benchmark, n):
+    values = data(n)
+
+    def run():
+        return floats_from_string(floats_to_string(values))
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert out.size == n
+    benchmark.extra_info["n_doubles"] = n
+    benchmark.extra_info["path"] = "string marshaling"
+
+
+def test_blob_speedup_headline(benchmark):
+    """One row: blob vs string time ratio at 100k doubles."""
+    import time
+
+    values = data(100_000)
+
+    def measure():
+        t0 = time.perf_counter()
+        for _ in range(10):
+            blob_to_floats(blob_from_floats(values))
+        t_blob = (time.perf_counter() - t0) / 10
+        t0 = time.perf_counter()
+        floats_from_string(floats_to_string(values))
+        t_str = time.perf_counter() - t0
+        return t_blob, t_str
+
+    t_blob, t_str = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["blob_s"] = round(t_blob, 6)
+    benchmark.extra_info["string_s"] = round(t_str, 6)
+    benchmark.extra_info["speedup"] = round(t_str / t_blob, 1)
+    assert t_str > 5 * t_blob
+
+
+def test_blob_through_full_runtime(benchmark):
+    """End to end: a 64k-double blob through C -> Swift -> Python."""
+    from repro import SwiftRuntime
+    from repro.swig import NativeLibrary, install_package
+
+    lib = NativeLibrary("gen")
+
+    @lib.function("double* make_wave(int n);")
+    def make_wave(n):
+        return np.sin(np.arange(n) / 100.0)
+
+    src = """
+(blob w) wave(int n) "gen" "1.0" [
+    "set <<w>> [ gen::make_wave <<n>> ]"
+];
+(string s) power(blob w) "python" "1.0" [
+    "set h [ blobutils::cast <<w>> double ]
+     set vals [ join [ blobutils::to_list $h ] , ]
+     set code [ string map [ list VALS $vals ] {v = sum(x*x for x in [VALS])} ]
+     set <<s>> [ python::eval $code {round(v, 3)} ]"
+];
+printf("power=%s", power(wave(2000)));
+"""
+    rt = SwiftRuntime(
+        workers=2, setup=lambda it, ctx, cl: install_package(it, lib)
+    )
+
+    def run():
+        res = rt.run(src)
+        assert res.stdout_lines and res.stdout_lines[0].startswith("power=")
+        return res
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["path"] = "blob through full runtime (2000 doubles)"

@@ -1,0 +1,75 @@
+"""EMBED — embedded interpreters vs launching interpreter executables.
+
+§III-C: "Previous workflow programming systems call external languages
+by executing the external interpreter executables.  This strategy is
+undesirable ... because at large scale the filesystem overheads are
+unacceptable.  Additionally, on specialized supercomputers such as the
+Blue Gene/Q, launching external programs is not possible at all."
+
+Shape to reproduce: per-task latency of the embedded path is orders of
+magnitude below ``python -c`` fork/exec; embedded R similar.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interlang import EmbeddedPython, EmbeddedR, python_exec_baseline
+
+CODE = "v = sum(i * i for i in range(50))"
+EXPR = "v"
+
+
+def test_embed_python_embedded(benchmark):
+    emb = EmbeddedPython()
+    result = benchmark(lambda: emb.eval(CODE, EXPR))
+    assert result == "40425"
+    benchmark.extra_info["path"] = "embedded python (retain)"
+
+
+def test_embed_python_embedded_reinit(benchmark):
+    emb = EmbeddedPython(mode="reinit")
+    result = benchmark(lambda: emb.eval(CODE, EXPR))
+    assert result == "40425"
+    benchmark.extra_info["path"] = "embedded python (reinit)"
+
+
+def test_embed_r_embedded(benchmark):
+    emb = EmbeddedR()
+    result = benchmark(lambda: emb.eval("v <- sum((0:49)^2)", "v"))
+    assert result == "40425"
+    benchmark.extra_info["path"] = "embedded R (retain)"
+
+
+def test_embed_python_fork_exec_baseline(benchmark):
+    """The rejected strategy: launch the interpreter executable."""
+    result = benchmark.pedantic(
+        lambda: python_exec_baseline(CODE, EXPR), rounds=5, iterations=1
+    )
+    assert result == "40425"
+    benchmark.extra_info["path"] = "fork/exec python -c"
+
+
+def test_embed_speedup_summary(benchmark):
+    """One row computing the headline ratio embedded vs fork/exec."""
+    import time
+
+    emb = EmbeddedPython()
+
+    def measure():
+        t0 = time.perf_counter()
+        for _ in range(50):
+            emb.eval(CODE, EXPR)
+        embedded = (time.perf_counter() - t0) / 50
+        t0 = time.perf_counter()
+        for _ in range(3):
+            python_exec_baseline(CODE, EXPR)
+        forked = (time.perf_counter() - t0) / 3
+        return embedded, forked
+
+    embedded, forked = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = forked / embedded
+    benchmark.extra_info["embedded_s"] = round(embedded, 6)
+    benchmark.extra_info["fork_exec_s"] = round(forked, 6)
+    benchmark.extra_info["speedup"] = round(ratio, 1)
+    assert ratio > 10, "embedded path should be >10x faster than fork/exec"

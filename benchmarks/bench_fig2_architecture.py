@@ -1,0 +1,73 @@
+"""FIG2 — the runtime architecture split (engines / servers / workers).
+
+Fig. 2 and the text claim that "typically the vast majority of
+processes (99%+) are designated as workers": a small number of control
+processes can feed many workers.  At benchmark scale we vary the
+control fraction at a fixed total rank count on the *real* runtime, and
+sweep much larger rank counts on the DES model.
+
+Shape to reproduce: task throughput is roughly flat as the control
+fraction shrinks (1 engine + 1 server suffices), so dedicating almost
+all ranks to workers is the right design point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import swift_run
+from repro.simcluster import ClusterParams, constant, simulate
+
+TOTAL_RANKS = 10
+N_TASKS = 120
+
+PROGRAM = (
+    "foreach i in [0:%d] { string s = python(\"x = %%d + 1\" %% 0 if False else \"x = 1\", \"x\"); trace(s); }"
+    % (N_TASKS - 1)
+)
+# simpler: plain python leaf per task
+PROGRAM = (
+    'foreach i in [0:%d] { trace(python("x = 1", "x")); }' % (N_TASKS - 1)
+)
+
+
+@pytest.mark.parametrize("servers,engines", [(1, 1), (2, 1), (1, 2), (2, 2), (3, 3)])
+def test_fig2_control_fraction(benchmark, servers, engines):
+    workers = TOTAL_RANKS - servers - engines
+
+    def run():
+        res = swift_run(
+            PROGRAM, workers=workers, servers=servers, engines=engines
+        )
+        assert res.tasks_run == N_TASKS
+        return res
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["servers"] = servers
+    benchmark.extra_info["engines"] = engines
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["control_fraction"] = round(
+        (servers + engines) / TOTAL_RANKS, 3
+    )
+    benchmark.extra_info["tasks_per_sec"] = round(N_TASKS / res.elapsed, 1)
+
+
+@pytest.mark.parametrize("worker_fraction", [0.5, 0.9, 0.99])
+def test_fig2_worker_fraction_at_scale(benchmark, worker_fraction):
+    """DES at 1024 ranks: 99% workers matches or beats 50% workers."""
+    total = 1024
+
+    def run():
+        n_ctl = max(2, int(round(total * (1 - worker_fraction))))
+        params = ClusterParams(
+            n_workers=total - n_ctl,
+            n_servers=max(1, n_ctl // 2),
+            n_engines=max(1, n_ctl - n_ctl // 2),
+        )
+        durations = constant(params.n_workers * 4, 1e-3)
+        return simulate(params, durations)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["worker_fraction"] = worker_fraction
+    benchmark.extra_info["sim_tasks_per_sec"] = round(res.tasks_per_sec)
+    benchmark.extra_info["sim_worker_utilization"] = round(res.worker_utilization, 3)

@@ -1,0 +1,113 @@
+"""FIG3 — SWIG-bound native calls from Swift/Tcl (paper Fig. 3, §III).
+
+The figure's claim: the SWIG pipeline makes functions in ``afunc.o``
+callable from Swift/T.  The quantitative shape worth checking is call
+overhead by language boundary, per leaf-task invocation:
+
+    plain Tcl proc  <  SWIG-bound native  <  embedded Python  ~  embedded R
+
+all of which are orders of magnitude below fork/exec (see EMBED).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.interlang import register_blobutils, register_python, register_r
+from repro.swig import NativeLibrary, register_library
+from repro.tcl import Interp
+
+
+def make_interp() -> Interp:
+    it = Interp()
+    it.echo = False
+    register_blobutils(it)
+    register_python(it)
+    register_r(it)
+    lib = NativeLibrary("kern")
+
+    @lib.function("double fma(double a, double b, double c);")
+    def fma(a, b, c):
+        return a * b + c
+
+    @lib.function("double arr_sum(double* x, int n);")
+    def arr_sum(x, n):
+        return float(np.sum(x[:n]))
+
+    register_library(it, lib)
+    it.eval("proc tcl_fma { a b c } { expr { $a * $b + $c } }")
+    return it
+
+
+@pytest.fixture(scope="module")
+def interp():
+    return make_interp()
+
+
+def test_fig3_tcl_proc_call(benchmark, interp):
+    result = benchmark(lambda: interp.eval("tcl_fma 2.0 3.0 4.0"))
+    assert result == "10.0"
+    benchmark.extra_info["boundary"] = "pure Tcl proc"
+
+
+def test_fig3_swig_native_call(benchmark, interp):
+    result = benchmark(lambda: interp.eval("kern::fma 2.0 3.0 4.0"))
+    assert result == "10.0"
+    benchmark.extra_info["boundary"] = "SWIG-bound native"
+
+
+def test_fig3_swig_native_blob_call(benchmark, interp):
+    interp.eval("set ::benchblob [ blobutils::create_floats 1.0 2.0 3.0 4.0 ]")
+    result = benchmark(lambda: interp.eval("kern::arr_sum $::benchblob 4"))
+    assert result == "10.0"
+    benchmark.extra_info["boundary"] = "SWIG-bound native + blob arg"
+
+
+def test_fig3_embedded_python_call(benchmark, interp):
+    result = benchmark(
+        lambda: interp.eval("python::eval {v = 2.0 * 3.0 + 4.0} {v}")
+    )
+    assert result == "10.0"
+    benchmark.extra_info["boundary"] = "embedded Python"
+
+
+def test_fig3_embedded_r_call(benchmark, interp):
+    result = benchmark(lambda: interp.eval("r::eval {v <- 2 * 3 + 4} {v}"))
+    assert result == "10"
+    benchmark.extra_info["boundary"] = "embedded R"
+
+
+def test_fig3_end_to_end_native_leaf(benchmark):
+    """A native call as an actual Swift leaf task over the runtime."""
+    from repro import SwiftRuntime
+    from repro.swig import install_package
+
+    lib = NativeLibrary("kern")
+
+    @lib.function("double fma(double a, double b, double c);")
+    def fma(a, b, c):
+        return a * b + c
+
+    src = """
+(float o) nfma(float a, float b, float c) "kern" "1.0" [
+    "set <<o>> [ kern::fma <<a>> <<b>> <<c>> ]"
+];
+float results[];
+foreach i in [0:31] {
+    results[i] = nfma(tofloat(i), 2.0, 1.0);
+}
+printf("%s", fromfloat(sum_float(results)));
+"""
+    rt = SwiftRuntime(
+        workers=4,
+        setup=lambda interp, ctx, client: install_package(interp, lib),
+    )
+
+    def run():
+        res = rt.run(src)
+        assert res.stdout_lines == ["1024.0"]
+        return res
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["boundary"] = "full Swift leaf task (32 calls)"

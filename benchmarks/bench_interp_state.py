@@ -1,0 +1,107 @@
+"""STATE — retain vs reinitialize interpreter state (§III-C).
+
+"One approach is to finalize the interpreter at the end of each task
+and reinitialize it ... This approach raises concerns about
+performance ... Thus, we provide options to either retain the
+interpreter or reinitialize it."
+
+Workload: tasks whose preamble (imports / helper definitions) is
+expensive relative to the task body.  Retain pays the preamble once;
+reinit pays it every task.  Also demonstrates the paper's aside that
+"old interpreter state can also be used to store useful data".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interlang import EmbeddedPython, EmbeddedR
+
+PY_PREAMBLE = (
+    "import math, json, functools\n"
+    "TABLE = {i: math.sin(i / 100.0) for i in range(2000)}\n"
+    "def lookup(i):\n"
+    "    return TABLE[i % 2000]\n"
+)
+PY_TASK = "v = lookup(1234)"
+
+R_PREAMBLE = "tbl <- sin(seq_len(2000) / 100); look <- function(i) tbl[i]"
+R_TASK = "v <- look(1234)"
+
+
+def test_state_python_retain(benchmark):
+    emb = EmbeddedPython(mode="retain", preamble=PY_PREAMBLE)
+
+    def task():
+        return emb.eval(PY_TASK, "round(v, 6)")
+
+    benchmark(task)
+    benchmark.extra_info["mode"] = "retain"
+    benchmark.extra_info["inits"] = emb.init_count
+
+
+def test_state_python_reinit(benchmark):
+    emb = EmbeddedPython(mode="reinit", preamble=PY_PREAMBLE)
+
+    def task():
+        return emb.eval(PY_TASK, "round(v, 6)")
+
+    benchmark(task)
+    benchmark.extra_info["mode"] = "reinit"
+    benchmark.extra_info["inits"] = emb.init_count
+
+
+def test_state_r_retain(benchmark):
+    emb = EmbeddedR(mode="retain", preamble=R_PREAMBLE)
+    benchmark(lambda: emb.eval(R_TASK, "v"))
+    benchmark.extra_info["mode"] = "retain"
+
+
+def test_state_r_reinit(benchmark):
+    emb = EmbeddedR(mode="reinit", preamble=R_PREAMBLE)
+    benchmark(lambda: emb.eval(R_TASK, "v"))
+    benchmark.extra_info["mode"] = "reinit"
+
+
+def test_state_retain_cost_ratio(benchmark):
+    """Headline row: reinit/retain per-task cost ratio for this preamble."""
+    import time
+
+    retain = EmbeddedPython(mode="retain", preamble=PY_PREAMBLE)
+    reinit = EmbeddedPython(mode="reinit", preamble=PY_PREAMBLE)
+
+    def measure():
+        t0 = time.perf_counter()
+        for _ in range(30):
+            retain.eval(PY_TASK, "v")
+        t_retain = (time.perf_counter() - t0) / 30
+        t0 = time.perf_counter()
+        for _ in range(30):
+            reinit.eval(PY_TASK, "v")
+        t_reinit = (time.perf_counter() - t0) / 30
+        return t_retain, t_reinit
+
+    t_retain, t_reinit = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["retain_s"] = round(t_retain, 6)
+    benchmark.extra_info["reinit_s"] = round(t_reinit, 6)
+    benchmark.extra_info["ratio"] = round(t_reinit / t_retain, 1)
+    assert t_reinit > 3 * t_retain
+
+
+def test_state_cache_reuse_pattern(benchmark):
+    """'Old interpreter state can also be used to store useful data.'"""
+    emb = EmbeddedPython(mode="retain")
+    emb.eval("cache = {}", "")
+
+    def memoized_task():
+        return emb.eval(
+            "k = 911\n"
+            "if k not in cache:\n"
+            "    cache[k] = sum(i * i for i in range(k))\n"
+            "v = cache[k]",
+            "v",
+        )
+
+    result = benchmark(memoized_task)
+    assert result == str(sum(i * i for i in range(911)))
+    benchmark.extra_info["pattern"] = "cross-task memoization via retained state"

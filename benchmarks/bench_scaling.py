@@ -1,0 +1,100 @@
+"""SCALE — scalability of the runtime (the §I claim of "hundreds of
+thousands of cores" with no central bottleneck in the Swift logic).
+
+Two series:
+
+* real-runtime throughput on thread-backed ranks (small scale);
+* the DES model at 2^6 .. 2^14 simulated ranks, single- vs
+  multi-server, reproducing the *shape*: near-linear task throughput
+  when servers are scaled with workers, saturation with one server.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import swift_run
+from repro.simcluster import ClusterParams, constant, simulate
+
+TASKS_PER_WORKER = 6
+
+
+@pytest.mark.parametrize("workers", [2, 4, 8])
+def test_scale_real_runtime(benchmark, workers):
+    n = workers * 10
+    src = 'foreach i in [0:%d] { trace(python("x = 1", "x")); }' % (n - 1)
+
+    def run():
+        res = swift_run(src, workers=workers)
+        assert res.tasks_run == n
+        return res
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["tasks_per_sec"] = round(n / res.elapsed, 1)
+
+
+@pytest.mark.parametrize("ranks_exp", [6, 8, 10, 12, 14])
+def test_scale_des_scaled_servers(benchmark, ranks_exp):
+    """Servers scale with workers (1 per 64): throughput keeps climbing."""
+    total = 2**ranks_exp
+
+    def run():
+        servers = max(1, total // 64)
+        engines = max(1, total // 128)
+        workers = total - servers - engines
+        params = ClusterParams(
+            n_workers=workers, n_servers=servers, n_engines=engines
+        )
+        return simulate(params, constant(workers * TASKS_PER_WORKER, 1e-3))
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["ranks"] = total
+    benchmark.extra_info["sim_tasks_per_sec"] = round(res.tasks_per_sec)
+    benchmark.extra_info["worker_utilization"] = round(res.worker_utilization, 3)
+
+
+@pytest.mark.parametrize("ranks_exp", [8, 10, 12])
+def test_scale_des_single_server_bottleneck(benchmark, ranks_exp):
+    """Ablation: one ADLB server saturates as ranks grow."""
+    total = 2**ranks_exp
+
+    def run():
+        params = ClusterParams(
+            n_workers=total - 9,
+            n_servers=1,
+            n_engines=8,
+            server_op_time=5e-6,
+        )
+        return simulate(
+            params, constant(params.n_workers * TASKS_PER_WORKER, 1e-3)
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["ranks"] = total
+    benchmark.extra_info["sim_tasks_per_sec"] = round(res.tasks_per_sec)
+    benchmark.extra_info["server_utilization"] = round(
+        max(res.server_utilization), 3
+    )
+
+
+@pytest.mark.parametrize("steal", [True, False])
+def test_scale_des_steal_ablation(benchmark, steal):
+    """Work stealing keeps throughput up when work lands unevenly."""
+    total = 512
+
+    def run():
+        params = ClusterParams(
+            n_workers=total - 10,
+            n_servers=8,
+            n_engines=2,  # few engines: puts concentrate on few servers
+            steal=steal,
+        )
+        return simulate(
+            params, constant(params.n_workers * TASKS_PER_WORKER, 1e-3)
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["steal"] = steal
+    benchmark.extra_info["sim_tasks_per_sec"] = round(res.tasks_per_sec)
+    benchmark.extra_info["steals"] = res.steals

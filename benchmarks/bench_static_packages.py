@@ -1,0 +1,94 @@
+"""PKG — static packages vs loose script files (§IV).
+
+"the many small file problem common in scripted solutions can be
+addressed with our static packages."
+
+Two costs: real wall-clock time to load M modules (zip bundle vs M
+opens), and the modeled metadata cost on a parallel filesystem
+(per-open latency x M x ranks).  Shape: the static package does one
+metadata operation regardless of M.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.packaging import MetadataFS, StaticPackage, load_loose_modules
+
+MODULE_COUNTS = [10, 100, 400]
+
+
+def build(tmp_path, m: int):
+    pkg = StaticPackage("app")
+    loose = []
+    d = tmp_path / ("mods%d" % m)
+    d.mkdir(exist_ok=True)
+    for i in range(m):
+        src = "package provide mod%d 1.0\nproc mod%d::f {} { return %d }\n" % (
+            i, i, i,
+        )
+        pkg.add("mod%d" % i, "tcl", src)
+        p = d / ("mod%d.tcl" % i)
+        p.write_text(src)
+        loose.append(str(p))
+    bundle = str(tmp_path / ("app%d.pkg" % m))
+    pkg.save(bundle)
+    return bundle, loose
+
+
+@pytest.mark.parametrize("m", MODULE_COUNTS)
+def test_pkg_static_load(benchmark, tmp_path, m):
+    bundle, _ = build(tmp_path, m)
+    fs = MetadataFS(metadata_latency=1e-3)
+
+    def run():
+        fs.reset()
+        return StaticPackage.load(bundle, fs=fs)
+
+    pkg = benchmark(run)
+    assert len(pkg) == m
+    benchmark.extra_info["modules"] = m
+    benchmark.extra_info["metadata_ops"] = fs.stats.opens
+    benchmark.extra_info["modeled_startup_s_8192_ranks"] = round(
+        fs.stats.simulated_time * 8192, 1
+    )
+
+
+@pytest.mark.parametrize("m", MODULE_COUNTS)
+def test_pkg_loose_load(benchmark, tmp_path, m):
+    _, loose = build(tmp_path, m)
+    fs = MetadataFS(metadata_latency=1e-3)
+
+    def run():
+        fs.reset()
+        return load_loose_modules(fs, loose)
+
+    out = benchmark(run)
+    assert len(out) == m
+    benchmark.extra_info["modules"] = m
+    benchmark.extra_info["metadata_ops"] = fs.stats.opens
+    benchmark.extra_info["modeled_startup_s_8192_ranks"] = round(
+        fs.stats.simulated_time * 8192, 1
+    )
+
+
+def test_pkg_metadata_ratio_headline(benchmark, tmp_path):
+    """One row: metadata ops ratio at 400 modules (should equal 400x)."""
+    bundle, loose = build(tmp_path, 400)
+
+    def measure():
+        fs_s = MetadataFS(metadata_latency=1e-3)
+        StaticPackage.load(bundle, fs=fs_s)
+        fs_l = MetadataFS(metadata_latency=1e-3)
+        load_loose_modules(fs_l, loose)
+        return fs_s.stats, fs_l.stats
+
+    static_stats, loose_stats = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    benchmark.extra_info["static_ops"] = static_stats.opens
+    benchmark.extra_info["loose_ops"] = loose_stats.opens
+    benchmark.extra_info["metadata_op_ratio"] = loose_stats.opens / static_stats.opens
+    assert loose_stats.opens == 400 and static_stats.opens == 1

@@ -1,0 +1,9 @@
+"""Benchmark helpers."""
+
+from __future__ import annotations
+
+
+def series(benchmark, **info) -> None:
+    """Attach series values to the pytest-benchmark row."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

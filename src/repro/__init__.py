@@ -1,0 +1,38 @@
+"""repro: a from-scratch reproduction of Swift/T interlanguage parallel
+scripting for distributed-memory scientific computing (CLUSTER 2015).
+
+Layers (bottom-up):
+
+* :mod:`repro.mpi` -- thread-backed MPI-like message passing
+* :mod:`repro.adlb` -- the Asynchronous Dynamic Load Balancer
+* :mod:`repro.tcl` -- a mini-Tcl interpreter (the compile target)
+* :mod:`repro.turbine` -- the dataflow engine and worker runtime
+* :mod:`repro.core` -- the Swift language and STC compiler
+* :mod:`repro.interlang` -- embedded Python/R, shell, leaf packages
+* :mod:`repro.rlang` -- the embedded mini-R interpreter
+* :mod:`repro.blob` -- blobutils for bulk binary interlanguage data
+* :mod:`repro.swig` -- SWIG/FortWrap-style native-code binding generator
+* :mod:`repro.packaging` -- static packages (many-small-files fix)
+* :mod:`repro.launch` -- batch scheduler integration
+* :mod:`repro.simcluster` -- discrete-event large-scale cluster model
+
+Public entry points: :func:`swift_run`, :class:`SwiftRuntime`,
+:func:`compile_swift`.
+"""
+
+from .api import SwiftRuntime, swift_run
+from .core import CompiledProgram, SwiftError, compile_swift
+from .turbine import RunResult, RuntimeConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "swift_run",
+    "SwiftRuntime",
+    "compile_swift",
+    "CompiledProgram",
+    "SwiftError",
+    "RunResult",
+    "RuntimeConfig",
+    "__version__",
+]

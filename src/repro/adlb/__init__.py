@@ -1,0 +1,40 @@
+"""ADLB: the Asynchronous Dynamic Load Balancer (Lusk et al.).
+
+Servers distribute tasks to workers on demand, balance load by work
+stealing, and host the Turbine data store.  This reimplements the ADLB
+protocol over :mod:`repro.mpi`: typed/priority/targeted work queues,
+parked receive requests, a typed data store with write/read refcounts
+and close subscriptions, and counter-based distributed termination.
+"""
+
+from . import constants
+from .client import AdlbClient, AdlbError
+from .constants import CONTROL, WORK
+from .datastore import (
+    DataStore,
+    DataStoreError,
+    DoubleWriteError,
+    NotFoundError,
+    UnsetError,
+)
+from .layout import Layout
+from .server import Server, ServerStats
+from .workqueue import Task, WorkQueue
+
+__all__ = [
+    "AdlbClient",
+    "AdlbError",
+    "DataStore",
+    "DataStoreError",
+    "DoubleWriteError",
+    "NotFoundError",
+    "UnsetError",
+    "Layout",
+    "Server",
+    "ServerStats",
+    "Task",
+    "WorkQueue",
+    "WORK",
+    "CONTROL",
+    "constants",
+]

@@ -1,0 +1,213 @@
+"""Client-side ADLB API used by engines and workers.
+
+Wraps the RPC protocol: work ops go to the rank's attached server, data
+ops are routed to each TD's home server, and termination-counter ops go
+to the master server.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..mpi import Comm
+from . import constants as C
+from .layout import Layout
+
+
+class AdlbError(RuntimeError):
+    pass
+
+
+class AdlbClient:
+    def __init__(self, comm: Comm, layout: Layout):
+        self.comm = comm
+        self.layout = layout
+        self.rank = comm.rank
+        self.my_server = layout.my_server(self.rank)
+        self._id_next = 0
+        self._id_limit = 0
+
+    # ------------------------------------------------------------------- RPC
+
+    def _rpc(self, server: int, msg: dict) -> Any:
+        self.comm.send(msg, server, C.TAG_REQUEST)
+        reply, _ = self.comm.recv(source=server, tag=C.TAG_RESPONSE)
+        if reply[0] == "error":
+            raise AdlbError(reply[1])
+        return reply[1]
+
+    def _oneway(self, server: int, msg: dict) -> None:
+        self.comm.send(msg, server, C.TAG_ONEWAY)
+
+    # ------------------------------------------------------------------ work
+
+    def put(
+        self,
+        payload: Any,
+        type: str = C.WORK,
+        priority: int = 0,
+        target: int = -1,
+    ) -> None:
+        """Submit a task.  Targeted tasks are routed to the target's server."""
+        server = (
+            self.layout.my_server(target) if target >= 0 else self.my_server
+        )
+        self._oneway(
+            server,
+            {
+                "op": C.OP_PUT,
+                "type": type,
+                "payload": payload,
+                "priority": priority,
+                "target": target,
+            },
+        )
+
+    def get(self, types: tuple[str, ...] = (C.WORK,)) -> tuple[str, Any] | None:
+        """Blocking get; returns (type, payload) or None on shutdown."""
+        self.get_send(types)
+        return self.get_wait()
+
+    def get_send(self, types: tuple[str, ...] = (C.WORK,)) -> None:
+        """First half of get(): issue the request without waiting.
+
+        Splitting get lets a worker send its termination-counter
+        decrement *after* it is parked, which the shutdown protocol
+        requires (a server only exits once every attached client is
+        parked or has been told to shut down).
+        """
+        self.comm.send(
+            {"op": C.OP_GET, "types": list(types)}, self.my_server, C.TAG_REQUEST
+        )
+
+    def get_wait(self) -> tuple[str, Any] | None:
+        reply, _ = self.comm.recv(source=self.my_server, tag=C.TAG_RESPONSE)
+        if reply[0] == "shutdown":
+            return None
+        if reply[0] == "task":
+            return reply[1], reply[2]
+        raise AdlbError("unexpected get reply %r" % (reply,))
+
+    def park_async(self, types: tuple[str, ...] = (C.CONTROL,)) -> None:
+        """Engine-style parked get; delivery arrives on the async channel."""
+        self._oneway(self.my_server, {"op": C.OP_GET_ASYNC, "types": list(types)})
+
+    def recv_async(self) -> tuple:
+        """Receive the next async event: ('notify', id) |
+        ('ctask', type, payload) | ('shutdown',)."""
+        msg, _ = self.comm.recv(tag=C.TAG_ASYNC)
+        return msg
+
+    # ------------------------------------------------------------------ data
+
+    def allocate_id(self) -> int:
+        if self._id_next >= self._id_limit:
+            start, size = self._rpc(
+                self.layout.master_server, {"op": C.OP_ID_BLOCK}
+            )
+            self._id_next, self._id_limit = start, start + size
+        td_id = self._id_next
+        self._id_next += 1
+        return td_id
+
+    def create(
+        self,
+        type: str,
+        write_refcount: int = 1,
+        read_refcount: int = 1,
+        id: int | None = None,
+    ) -> int:
+        td_id = self.allocate_id() if id is None else id
+        self._rpc(
+            self.layout.home_server(td_id),
+            {
+                "op": C.OP_CREATE,
+                "id": td_id,
+                "type": type,
+                "write_refcount": write_refcount,
+                "read_refcount": read_refcount,
+            },
+        )
+        return td_id
+
+    def store(
+        self,
+        id: int,
+        value: Any,
+        subscript: str | None = None,
+        decr_write: int = 1,
+    ) -> None:
+        self._rpc(
+            self.layout.home_server(id),
+            {
+                "op": C.OP_STORE,
+                "id": id,
+                "value": value,
+                "subscript": subscript,
+                "decr_write": decr_write,
+            },
+        )
+
+    def retrieve(self, id: int, subscript: str | None = None) -> Any:
+        return self._rpc(
+            self.layout.home_server(id),
+            {"op": C.OP_RETRIEVE, "id": id, "subscript": subscript},
+        )
+
+    def exists(self, id: int, subscript: str | None = None) -> bool:
+        return self._rpc(
+            self.layout.home_server(id),
+            {"op": C.OP_EXISTS, "id": id, "subscript": subscript},
+        )
+
+    def typeof(self, id: int) -> str:
+        return self._rpc(self.layout.home_server(id), {"op": C.OP_TYPEOF, "id": id})
+
+    def subscribe(self, id: int) -> bool:
+        """Subscribe to a TD's close; True if already closed."""
+        return self._rpc(
+            self.layout.home_server(id),
+            {"op": C.OP_SUBSCRIBE, "id": id, "rank": self.rank},
+        )
+
+    def container_reference(self, id: int, subscript: str, ref_id: int) -> None:
+        self._rpc(
+            self.layout.home_server(id),
+            {
+                "op": C.OP_CONTAINER_REF,
+                "id": id,
+                "subscript": subscript,
+                "ref_id": ref_id,
+            },
+        )
+
+    def enumerate(self, id: int) -> list[str]:
+        return self._rpc(
+            self.layout.home_server(id), {"op": C.OP_ENUMERATE, "id": id}
+        )
+
+    def refcount(self, id: int, read_delta: int = 0, write_delta: int = 0) -> None:
+        self._rpc(
+            self.layout.home_server(id),
+            {
+                "op": C.OP_REFCOUNT,
+                "id": id,
+                "read_delta": read_delta,
+                "write_delta": write_delta,
+            },
+        )
+
+    # ----------------------------------------------------------- termination
+
+    def incr_work(self, amount: int = 1) -> None:
+        self._oneway(
+            self.layout.master_server, {"op": C.OP_INCR_WORK, "amount": amount}
+        )
+
+    def decr_work(self, amount: int = 1) -> None:
+        self._oneway(
+            self.layout.master_server, {"op": C.OP_DECR_WORK, "amount": amount}
+        )
+
+    def server_stats(self) -> dict:
+        return self._rpc(self.my_server, {"op": C.OP_STATS})

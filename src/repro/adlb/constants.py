@@ -1,0 +1,55 @@
+"""Protocol constants for the ADLB layer: tags, opcodes, task types."""
+
+from __future__ import annotations
+
+# --- message tags ---------------------------------------------------------
+TAG_REQUEST = 10  # client -> server RPC request
+TAG_RESPONSE = 11  # server -> client RPC response
+TAG_ONEWAY = 12  # client -> server, no response expected
+TAG_ASYNC = 13  # server -> client async delivery (notify/ctask/shutdown)
+TAG_SERVER = 14  # server <-> server (steal, shutdown fanout, counters)
+
+# --- task types -----------------------------------------------------------
+WORK = "WORK"  # leaf tasks, executed by workers
+CONTROL = "CONTROL"  # dataflow logic tasks, executed by engines
+
+# --- data types -----------------------------------------------------------
+T_INTEGER = "integer"
+T_FLOAT = "float"
+T_STRING = "string"
+T_BLOB = "blob"
+T_BOOLEAN = "boolean"
+T_VOID = "void"
+T_CONTAINER = "container"
+T_REF = "ref"
+
+SCALAR_TYPES = {T_INTEGER, T_FLOAT, T_STRING, T_BLOB, T_BOOLEAN, T_VOID, T_REF}
+
+# --- opcodes (request ops carry a dict payload) -----------------------------
+OP_PUT = "PUT"
+OP_GET = "GET"  # blocking get (worker)
+OP_GET_ASYNC = "GET_ASYNC"  # parked get with async delivery (engine)
+OP_ID_BLOCK = "ID_BLOCK"
+OP_CREATE = "CREATE"
+OP_MULTICREATE = "MULTICREATE"
+OP_STORE = "STORE"
+OP_RETRIEVE = "RETRIEVE"
+OP_EXISTS = "EXISTS"
+OP_SUBSCRIBE = "SUBSCRIBE"
+OP_CONTAINER_REF = "CONTAINER_REF"
+OP_ENUMERATE = "ENUMERATE"
+OP_REFCOUNT = "REFCOUNT"
+OP_TYPEOF = "TYPEOF"
+OP_INCR_WORK = "INCR_WORK"
+OP_DECR_WORK = "DECR_WORK"
+OP_FINALIZE = "FINALIZE"
+OP_STATS = "STATS"
+
+# --- server <-> server ops ---------------------------------------------------
+SOP_STEAL_REQ = "STEAL_REQ"
+SOP_STEAL_RESP = "STEAL_RESP"
+SOP_SHUTDOWN = "SHUTDOWN"
+SOP_WORK_DELTA = "WORK_DELTA"
+
+# id allocation block size handed to clients
+ID_BLOCK_SIZE = 256

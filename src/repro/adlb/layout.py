@@ -1,0 +1,78 @@
+"""Rank layout: which ranks are servers, engines, and workers.
+
+Following the paper's Fig. 2, the MPI job is split into engines (Swift
+logic), ADLB servers, and workers.  As in real ADLB, servers occupy the
+highest ranks.  Engines come first, workers in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Layout:
+    size: int
+    n_servers: int
+    n_engines: int
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError("need at least one ADLB server")
+        if self.n_engines < 1:
+            raise ValueError("need at least one engine")
+        if self.n_workers < 1:
+            raise ValueError(
+                "layout (size=%d, servers=%d, engines=%d) leaves no workers"
+                % (self.size, self.n_servers, self.n_engines)
+            )
+
+    # -- role partitions -----------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return self.size - self.n_servers - self.n_engines
+
+    @property
+    def servers(self) -> list[int]:
+        return list(range(self.size - self.n_servers, self.size))
+
+    @property
+    def engines(self) -> list[int]:
+        return list(range(self.n_engines))
+
+    @property
+    def workers(self) -> list[int]:
+        return list(range(self.n_engines, self.size - self.n_servers))
+
+    @property
+    def master_server(self) -> int:
+        return self.size - self.n_servers
+
+    def is_server(self, rank: int) -> bool:
+        return rank >= self.size - self.n_servers
+
+    def is_engine(self, rank: int) -> bool:
+        return rank < self.n_engines
+
+    def is_worker(self, rank: int) -> bool:
+        return not self.is_server(rank) and not self.is_engine(rank)
+
+    def role(self, rank: int) -> str:
+        if self.is_server(rank):
+            return "server"
+        if self.is_engine(rank):
+            return "engine"
+        return "worker"
+
+    # -- attachments -----------------------------------------------------------
+
+    def my_server(self, rank: int) -> int:
+        """The server a client rank sends work requests to."""
+        first = self.size - self.n_servers
+        return first + rank % self.n_servers
+
+    def home_server(self, td_id: int) -> int:
+        """The server that owns a TD."""
+        first = self.size - self.n_servers
+        return first + td_id % self.n_servers

@@ -1,0 +1,352 @@
+"""The ADLB server loop.
+
+Each server owns a slice of the data store (TDs with ``id % n_servers``
+matching its index), a work queue, and the parked GET requests of its
+attached clients.  The first server additionally runs the distributed
+termination counter: clients increment it for every unit of pending
+work (rules, tasks, the initial program) and decrement on completion;
+when it returns to zero the master fans out shutdown.
+
+Work stealing: a server whose parked GETs cannot be satisfied locally
+probes the other servers round-robin for untargeted tasks, as in ADLB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..mpi import Comm
+from . import constants as C
+from .datastore import DataStore, DataStoreError, Notification, RefStore
+from .layout import Layout
+from .workqueue import Task, WorkQueue
+
+
+@dataclass
+class ParkedGet:
+    rank: int
+    types: tuple[str, ...]
+    is_async: bool
+
+
+@dataclass
+class ServerStats:
+    tasks_queued: int = 0
+    tasks_matched: int = 0
+    steal_requests: int = 0
+    tasks_stolen_in: int = 0
+    tasks_stolen_out: int = 0
+    data_ops: int = 0
+    max_queue: int = 0
+    idle_polls: int = 0
+
+
+class Server:
+    def __init__(self, comm: Comm, layout: Layout, steal: bool = True):
+        self.comm = comm
+        self.layout = layout
+        self.rank = comm.rank
+        self.steal_enabled = steal and layout.n_servers > 1
+        self.store = DataStore()
+        self.queue = WorkQueue()
+        self.parked: list[ParkedGet] = []
+        self.stats = ServerStats()
+        self.is_master = self.rank == layout.master_server
+        # termination counter (master only)
+        self.work_count = 0
+        self.work_started = False
+        self.shutting_down = False
+        self._shutdown_sent: set[int] = set()
+        # id allocation (master only)
+        self._next_id = 1
+        # steal state
+        self._steal_inflight = False
+        self._steal_ring = 0
+        self._other_servers = [s for s in layout.servers if s != self.rank]
+        # Clients attached to this server for work requests; each must be
+        # told to shut down before this server may exit.
+        self.attached_clients = {
+            r
+            for r in range(layout.size)
+            if not layout.is_server(r) and layout.my_server(r) == self.rank
+        }
+        self._shutdown_acked: set[int] = set()
+
+    # ------------------------------------------------------------------ loop
+
+    def run(self) -> ServerStats:
+        """Serve until shutdown completes; returns server statistics."""
+        while not self._done():
+            got = self.comm.recv_poll(timeout=0.02)
+            if got is None:
+                self.stats.idle_polls += 1
+                self._idle_tick()
+                continue
+            msg, status = got
+            self._dispatch(msg, status.source, status.tag)
+        return self.stats
+
+    def _done(self) -> bool:
+        return (
+            self.shutting_down
+            and self._shutdown_acked >= self.attached_clients
+        )
+
+    # ---------------------------------------------------------------- dispatch
+
+    def _dispatch(self, msg: dict, source: int, tag: int) -> None:
+        op = msg["op"]
+        if tag == C.TAG_SERVER:
+            self._server_op(op, msg, source)
+            return
+        try:
+            result = self._client_op(op, msg, source)
+        except DataStoreError as e:
+            if tag == C.TAG_REQUEST:
+                self.comm.send(("error", str(e)), source, C.TAG_RESPONSE)
+            else:
+                raise
+            return
+        if tag == C.TAG_REQUEST and result is not _NO_REPLY:
+            self.comm.send(("ok", result), source, C.TAG_RESPONSE)
+
+    # -------------------------------------------------------------- client ops
+
+    def _client_op(self, op: str, msg: dict, source: int) -> Any:
+        if op == C.OP_PUT:
+            task = Task(
+                type=msg["type"],
+                payload=msg["payload"],
+                priority=msg.get("priority", 0),
+                target=msg.get("target", -1),
+            )
+            self._accept_task(task)
+            return None
+        if op == C.OP_GET:
+            if self.shutting_down:
+                self.comm.send(("shutdown",), source, C.TAG_RESPONSE)
+                self._shutdown_acked.add(source)
+                return _NO_REPLY
+            types = tuple(msg["types"])
+            task = self.queue.pop(types, source)
+            if task is not None:
+                self.stats.tasks_matched += 1
+                self.comm.send(
+                    ("task", task.type, task.payload), source, C.TAG_RESPONSE
+                )
+            else:
+                self.parked.append(ParkedGet(source, types, is_async=False))
+                self._maybe_steal()
+            return _NO_REPLY
+        if op == C.OP_GET_ASYNC:
+            if self.shutting_down:
+                self.comm.send(("shutdown",), source, C.TAG_ASYNC)
+                self._shutdown_acked.add(source)
+                return _NO_REPLY
+            types = tuple(msg["types"])
+            task = self.queue.pop(types, source)
+            if task is not None:
+                self.stats.tasks_matched += 1
+                self.comm.send(
+                    ("ctask", task.type, task.payload), source, C.TAG_ASYNC
+                )
+            else:
+                self.parked.append(ParkedGet(source, types, is_async=True))
+                self._maybe_steal()
+            return _NO_REPLY
+        if op == C.OP_ID_BLOCK:
+            assert self.is_master, "id blocks come from the master server"
+            start = self._next_id
+            self._next_id += C.ID_BLOCK_SIZE
+            return (start, C.ID_BLOCK_SIZE)
+        if op == C.OP_CREATE:
+            self.stats.data_ops += 1
+            self.store.create(
+                msg["id"],
+                msg["type"],
+                write_refcount=msg.get("write_refcount", 1),
+                read_refcount=msg.get("read_refcount", 1),
+            )
+            return msg["id"]
+        if op == C.OP_MULTICREATE:
+            self.stats.data_ops += 1
+            for spec in msg["specs"]:
+                self.store.create(
+                    spec["id"],
+                    spec["type"],
+                    write_refcount=spec.get("write_refcount", 1),
+                    read_refcount=spec.get("read_refcount", 1),
+                )
+            return len(msg["specs"])
+        if op == C.OP_STORE:
+            self.stats.data_ops += 1
+            notes, refs = self.store.store(
+                msg["id"],
+                msg["value"],
+                subscript=msg.get("subscript"),
+                decr_write=msg.get("decr_write", 1),
+            )
+            self._emit(notes, refs)
+            return None
+        if op == C.OP_RETRIEVE:
+            self.stats.data_ops += 1
+            return self.store.retrieve(msg["id"], subscript=msg.get("subscript"))
+        if op == C.OP_EXISTS:
+            self.stats.data_ops += 1
+            return self.store.exists(msg["id"], subscript=msg.get("subscript"))
+        if op == C.OP_TYPEOF:
+            return self.store.lookup(msg["id"]).type
+        if op == C.OP_SUBSCRIBE:
+            self.stats.data_ops += 1
+            return self.store.subscribe(msg["id"], msg.get("rank", source))
+        if op == C.OP_CONTAINER_REF:
+            self.stats.data_ops += 1
+            ref = self.store.container_reference(
+                msg["id"], msg["subscript"], msg["ref_id"]
+            )
+            if ref is not None:
+                self._emit([], [ref])
+            return None
+        if op == C.OP_ENUMERATE:
+            self.stats.data_ops += 1
+            return self.store.enumerate(msg["id"])
+        if op == C.OP_REFCOUNT:
+            self.stats.data_ops += 1
+            notes = self.store.refcount(
+                msg["id"],
+                read_delta=msg.get("read_delta", 0),
+                write_delta=msg.get("write_delta", 0),
+            )
+            self._emit(notes, [])
+            return None
+        if op == C.OP_INCR_WORK:
+            assert self.is_master
+            self.work_count += msg.get("amount", 1)
+            self.work_started = True
+            return None
+        if op == C.OP_DECR_WORK:
+            assert self.is_master
+            self.work_count -= msg.get("amount", 1)
+            if self.work_count < 0:
+                raise DataStoreError("termination counter went negative")
+            if self.work_count == 0 and self.work_started:
+                self._initiate_shutdown()
+            return None
+        if op == C.OP_STATS:
+            return {
+                "tasks_queued": self.stats.tasks_queued,
+                "tasks_matched": self.stats.tasks_matched,
+                "steal_requests": self.stats.steal_requests,
+                "tasks_stolen_in": self.stats.tasks_stolen_in,
+                "tasks_stolen_out": self.stats.tasks_stolen_out,
+                "data_ops": self.stats.data_ops,
+                "max_queue": self.stats.max_queue,
+            }
+        raise DataStoreError("unknown ADLB op %r" % op)
+
+    # --------------------------------------------------------------- server ops
+
+    def _server_op(self, op: str, msg: dict, source: int) -> None:
+        if op == C.SOP_STEAL_REQ:
+            n = max(1, self.queue.size // 2)
+            tasks = self.queue.steal(n) if self.queue.size else []
+            self.stats.tasks_stolen_out += len(tasks)
+            self.comm.send(
+                {"op": C.SOP_STEAL_RESP, "tasks": tasks}, source, C.TAG_SERVER
+            )
+            return
+        if op == C.SOP_STEAL_RESP:
+            self._steal_inflight = False
+            tasks = msg["tasks"]
+            self.stats.tasks_stolen_in += len(tasks)
+            for task in tasks:
+                self._accept_task(task)
+            # Empty responses retry from the idle tick, not immediately,
+            # to avoid a steal storm when the whole system is idle.
+            return
+        if op == C.SOP_SHUTDOWN:
+            self._enter_shutdown()
+            return
+        raise RuntimeError("unknown server op %r" % op)
+
+    # ---------------------------------------------------------------- matching
+
+    def _accept_task(self, task: Task) -> None:
+        for i, parked in enumerate(self.parked):
+            if task.type in parked.types and task.target in (-1, parked.rank):
+                del self.parked[i]
+                self.stats.tasks_matched += 1
+                if parked.is_async:
+                    self.comm.send(
+                        ("ctask", task.type, task.payload),
+                        parked.rank,
+                        C.TAG_ASYNC,
+                    )
+                else:
+                    self.comm.send(
+                        ("task", task.type, task.payload),
+                        parked.rank,
+                        C.TAG_RESPONSE,
+                    )
+                return
+        self.queue.push(task)
+        self.stats.tasks_queued += 1
+        self.stats.max_queue = max(self.stats.max_queue, self.queue.size)
+
+    def _emit(self, notes: list[Notification], refs: list[RefStore]) -> None:
+        for note in notes:
+            self.comm.send(("notify", note.id), note.rank, C.TAG_ASYNC)
+        for ref in refs:
+            home = self.layout.home_server(ref.ref_id)
+            store_msg = {
+                "op": C.OP_STORE,
+                "id": ref.ref_id,
+                "value": ref.value,
+                "decr_write": 1,
+            }
+            if home == self.rank:
+                notes2, refs2 = self.store.store(ref.ref_id, ref.value)
+                self._emit(notes2, refs2)
+            else:
+                self.comm.send(store_msg, home, C.TAG_ONEWAY)
+
+    # ---------------------------------------------------------------- stealing
+
+    def _maybe_steal(self) -> None:
+        if (
+            not self.steal_enabled
+            or self._steal_inflight
+            or not self.parked
+            or self.shutting_down
+        ):
+            return
+        victim = self._other_servers[self._steal_ring % len(self._other_servers)]
+        self._steal_ring += 1
+        self._steal_inflight = True
+        self.stats.steal_requests += 1
+        self.comm.send({"op": C.SOP_STEAL_REQ}, victim, C.TAG_SERVER)
+
+    def _idle_tick(self) -> None:
+        self._maybe_steal()
+
+    # ---------------------------------------------------------------- shutdown
+
+    def _initiate_shutdown(self) -> None:
+        for s in self.layout.servers:
+            if s != self.rank:
+                self.comm.send({"op": C.SOP_SHUTDOWN}, s, C.TAG_SERVER)
+        self._enter_shutdown()
+
+    def _enter_shutdown(self) -> None:
+        if self.shutting_down:
+            return
+        self.shutting_down = True
+        for parked in self.parked:
+            tag = C.TAG_ASYNC if parked.is_async else C.TAG_RESPONSE
+            self.comm.send(("shutdown",), parked.rank, tag)
+            self._shutdown_acked.add(parked.rank)
+        self.parked = []
+
+
+_NO_REPLY = object()

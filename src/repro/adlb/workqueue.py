@@ -1,0 +1,92 @@
+"""Work queues for one ADLB server.
+
+Tasks are matched by type, priority (higher first, FIFO within a
+priority), and optional target rank.  Communication-free so the
+matching invariants can be property-tested.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Task:
+    type: str
+    payload: Any
+    priority: int = 0
+    target: int = -1  # -1 means any rank
+
+
+class WorkQueue:
+    def __init__(self) -> None:
+        self._seq = itertools.count()
+        # type -> heap of (-priority, seq, Task)
+        self._untargeted: dict[str, list[tuple[int, int, Task]]] = {}
+        # (type, rank) -> heap
+        self._targeted: dict[tuple[str, int], list[tuple[int, int, Task]]] = {}
+        self.size = 0
+
+    def push(self, task: Task) -> None:
+        entry = (-task.priority, next(self._seq), task)
+        if task.target >= 0:
+            heapq.heappush(
+                self._targeted.setdefault((task.type, task.target), []), entry
+            )
+        else:
+            heapq.heappush(self._untargeted.setdefault(task.type, []), entry)
+        self.size += 1
+
+    def pop(self, types: tuple[str, ...], rank: int) -> Task | None:
+        """Best task of any of the given types for this rank.
+
+        Targeted tasks win over untargeted tasks of equal priority,
+        matching ADLB semantics.
+        """
+        best_key: tuple[int, int] | None = None
+        best_src: tuple[bool, Any] | None = None
+        for t in types:
+            heap = self._targeted.get((t, rank))
+            if heap:
+                key = heap[0][:2]
+                if best_key is None or key < best_key:
+                    best_key, best_src = key, (True, (t, rank))
+            heap = self._untargeted.get(t)
+            if heap:
+                key = heap[0][:2]
+                if best_key is None or key < best_key:
+                    best_key, best_src = key, (False, t)
+        if best_src is None:
+            return None
+        targeted, k = best_src
+        heap = self._targeted[k] if targeted else self._untargeted[k]
+        _, _, task = heapq.heappop(heap)
+        self.size -= 1
+        return task
+
+    def steal(self, max_count: int) -> list[Task]:
+        """Remove up to max_count *untargeted* tasks for another server.
+
+        Targeted tasks must stay on the server that owns the target's
+        attachment, so only untargeted work migrates.
+        """
+        out: list[Task] = []
+        for heap in self._untargeted.values():
+            while heap and len(out) < max_count:
+                _, _, task = heapq.heappop(heap)
+                out.append(task)
+                self.size -= 1
+            if len(out) >= max_count:
+                break
+        return out
+
+    def counts_by_type(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for t, heap in self._untargeted.items():
+            out[t] = out.get(t, 0) + len(heap)
+        for (t, _), heap in self._targeted.items():
+            out[t] = out.get(t, 0) + len(heap)
+        return out

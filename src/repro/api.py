@@ -1,0 +1,90 @@
+"""Public API: compile and run Swift programs on the Swift/T runtime.
+
+Quickstart::
+
+    from repro import swift_run
+
+    result = swift_run('''
+        foreach i in [0:9] {
+            string out = python(strcat("x = ", fromint(i), " * 2"), "x");
+            printf("doubled: %s", out);
+        }
+    ''', workers=4)
+    print(result.stdout)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .core import CompiledProgram, compile_swift
+from .turbine import RunResult, RuntimeConfig, run_turbine_program
+
+
+@dataclass
+class SwiftRuntime:
+    """A reusable configuration for running Swift programs."""
+
+    workers: int = 2
+    servers: int = 1
+    engines: int = 1
+    opt: int = 1
+    steal: bool = True
+    echo: bool = False
+    interp_mode: str = "retain"
+    record_spans: bool = False
+    recv_timeout: float = 120.0
+    setup: Callable | None = None
+    args: dict | None = None  # program arguments for argv()
+
+    def config(self) -> RuntimeConfig:
+        return RuntimeConfig(
+            size=self.workers + self.servers + self.engines,
+            n_servers=self.servers,
+            n_engines=self.engines,
+            steal=self.steal,
+            echo=self.echo,
+            interp_mode=self.interp_mode,
+            record_spans=self.record_spans,
+            recv_timeout=self.recv_timeout,
+            args=dict(self.args or {}),
+        )
+
+    def compile(self, source: str) -> CompiledProgram:
+        return compile_swift(source, opt=self.opt)
+
+    def run(self, source: str) -> RunResult:
+        compiled = self.compile(source)
+        return self.run_compiled(compiled)
+
+    def run_compiled(self, compiled: CompiledProgram) -> RunResult:
+        return run_turbine_program(
+            compiled.tcl_text,
+            config=self.config(),
+            setup=self.setup,
+            entry=compiled.entry,
+        )
+
+
+def swift_run(
+    source: str,
+    workers: int = 2,
+    servers: int = 1,
+    engines: int = 1,
+    opt: int = 1,
+    setup: Callable | None = None,
+    args: dict | None = None,
+    **kwargs,
+) -> RunResult:
+    """Compile and execute a Swift program; returns the RunResult."""
+    rt = SwiftRuntime(
+        workers=workers,
+        servers=servers,
+        engines=engines,
+        opt=opt,
+        setup=setup,
+        args=args,
+        **kwargs,
+    )
+    return rt.run(source)

@@ -1,0 +1,33 @@
+"""blobutils: binary large objects for interlanguage bulk data (§III-B).
+
+Swift/T passes bulk binary data between languages as *blobs* — pointers
+plus lengths.  Here a :class:`Blob` wraps a NumPy buffer (or raw bytes)
+with an element type, and the conversion helpers reproduce the "simple
+but myriad interlanguage complexities" the paper describes: C-string
+framing, ``void*`` -> ``double*``-style reinterpreting casts, and
+column-major (Fortran) array views.
+"""
+
+from .blob import Blob
+from .convert import (
+    blob_from_floats,
+    blob_from_string,
+    blob_to_floats,
+    blob_to_string,
+    floats_from_string,
+    floats_to_string,
+)
+from .fortran import FortranArray
+from .pointers import PointerTable
+
+__all__ = [
+    "Blob",
+    "blob_from_string",
+    "blob_to_string",
+    "blob_from_floats",
+    "blob_to_floats",
+    "floats_to_string",
+    "floats_from_string",
+    "FortranArray",
+    "PointerTable",
+]

@@ -1,0 +1,105 @@
+"""The Blob type: a pointer+length pair over a typed buffer."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+_DTYPES = {
+    "byte": np.uint8,
+    "int": np.int32,
+    "int64": np.int64,
+    "float": np.float64,  # Swift 'float' is a C double
+    "double": np.float64,
+    "float32": np.float32,
+}
+
+
+class BlobError(ValueError):
+    pass
+
+
+class Blob:
+    """A contiguous binary buffer with a declared element type.
+
+    Mirrors the Swift/T blob: at the language boundary it is just
+    (pointer, length-in-bytes); the element type is carried so casts
+    are explicit, as blobutils requires in the real system.
+    """
+
+    __slots__ = ("data", "ctype")
+
+    def __init__(self, data: np.ndarray | bytes | bytearray, ctype: str = "byte"):
+        if ctype not in _DTYPES:
+            raise BlobError("unknown blob element type %r" % ctype)
+        if isinstance(data, (bytes, bytearray)):
+            data = np.frombuffer(bytes(data), dtype=np.uint8)
+        if not isinstance(data, np.ndarray):
+            raise BlobError("blob data must be bytes or ndarray")
+        if not data.flags["C_CONTIGUOUS"]:
+            data = np.ascontiguousarray(data)
+        expected = _DTYPES[ctype]
+        if data.dtype != expected:
+            data = data.view(expected) if data.dtype.itemsize == 1 else data.astype(expected)
+        self.data = data
+        self.ctype = ctype
+
+    # -- pointer-ish surface --------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __len__(self) -> int:
+        return int(self.data.size)
+
+    def to_bytes(self) -> bytes:
+        return self.data.tobytes()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, ctype: str = "byte") -> "Blob":
+        arr = np.frombuffer(raw, dtype=np.uint8).copy()
+        blob = cls(arr, "byte")
+        if ctype != "byte":
+            return blob.cast(ctype)
+        return blob
+
+    # -- casts ------------------------------------------------------------------
+
+    def cast(self, ctype: str) -> "Blob":
+        """Reinterpret the buffer (void* -> double* style; no copy)."""
+        dtype = _DTYPES.get(ctype)
+        if dtype is None:
+            raise BlobError("unknown blob element type %r" % ctype)
+        if self.nbytes % np.dtype(dtype).itemsize != 0:
+            raise BlobError(
+                "blob of %d bytes cannot be viewed as %s" % (self.nbytes, ctype)
+            )
+        out = Blob.__new__(Blob)
+        out.data = self.data.view(dtype)
+        out.ctype = ctype
+        return out
+
+    # -- element access ------------------------------------------------------------
+
+    def get(self, index: int) -> Any:
+        if not 0 <= index < self.data.size:
+            raise BlobError("blob index %d out of range" % index)
+        return self.data[index].item()
+
+    def set(self, index: int, value: Any) -> None:
+        if not 0 <= index < self.data.size:
+            raise BlobError("blob index %d out of range" % index)
+        self.data[index] = value
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Blob)
+            and self.ctype == other.ctype
+            and self.nbytes == other.nbytes
+            and bool(np.array_equal(self.data.view(np.uint8), other.data.view(np.uint8)))
+        )
+
+    def __repr__(self) -> str:
+        return "Blob(%s[%d], %d bytes)" % (self.ctype, len(self), self.nbytes)

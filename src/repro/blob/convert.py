@@ -1,0 +1,48 @@
+"""Blob conversions, including the string-marshaling baseline.
+
+``floats_to_string``/``floats_from_string`` implement the naive
+alternative the paper's blob design avoids — printing numbers into a
+text representation and re-parsing them — used as a baseline in the
+BLOB benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .blob import Blob, BlobError
+
+
+def blob_from_string(s: str) -> Blob:
+    """C-string framing: UTF-8 bytes plus a trailing NUL."""
+    return Blob(s.encode("utf-8") + b"\x00", "byte")
+
+
+def blob_to_string(blob: Blob) -> str:
+    raw = blob.to_bytes()
+    end = raw.find(b"\x00")
+    if end >= 0:
+        raw = raw[:end]
+    return raw.decode("utf-8")
+
+
+def blob_from_floats(values) -> Blob:
+    return Blob(np.asarray(values, dtype=np.float64), "double")
+
+
+def blob_to_floats(blob: Blob) -> np.ndarray:
+    return blob.cast("double").data
+
+
+def floats_to_string(values) -> str:
+    """Baseline marshaling: repr-print doubles into a text list."""
+    return " ".join(repr(float(v)) for v in np.asarray(values).tolist())
+
+
+def floats_from_string(s: str) -> np.ndarray:
+    if not s.strip():
+        return np.array([], dtype=np.float64)
+    try:
+        return np.array([float(tok) for tok in s.split()], dtype=np.float64)
+    except ValueError as e:
+        raise BlobError("bad float string: %s" % e) from None

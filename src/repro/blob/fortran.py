@@ -1,0 +1,64 @@
+"""Fortran (column-major) array views over blobs.
+
+The paper notes blobutils handles "even multidimensional Fortran
+arrays": the same contiguous buffer is exposed with column-major
+indexing so FortWrap-wrapped code and C code agree on element order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .blob import Blob, BlobError
+
+
+class FortranArray:
+    """A column-major N-d view over a blob of doubles."""
+
+    def __init__(self, blob: Blob, shape: tuple[int, ...]):
+        data = blob.cast("double").data
+        n = 1
+        for dim in shape:
+            if dim <= 0:
+                raise BlobError("bad Fortran array dimension %d" % dim)
+            n *= dim
+        if n != data.size:
+            raise BlobError(
+                "shape %r needs %d elements; blob has %d"
+                % (shape, n, data.size)
+            )
+        self.blob = blob
+        self.shape = shape
+        # Column-major view without copying.
+        self.array = data.reshape(shape, order="F")
+
+    @classmethod
+    def zeros(cls, shape: tuple[int, ...]) -> "FortranArray":
+        n = int(np.prod(shape))
+        return cls(Blob(np.zeros(n, dtype=np.float64), "double"), shape)
+
+    @classmethod
+    def from_numpy(cls, arr: np.ndarray) -> "FortranArray":
+        flat = np.asfortranarray(arr, dtype=np.float64).reshape(-1, order="F")
+        return cls(Blob(flat.copy(), "double"), tuple(arr.shape))
+
+    def get(self, *indices: int) -> float:
+        return float(self.array[indices])
+
+    def set(self, *args) -> None:
+        *indices, value = args
+        self.array[tuple(int(i) for i in indices)] = value
+
+    def to_numpy(self) -> np.ndarray:
+        return self.array.copy()
+
+    def linear_index(self, *indices: int) -> int:
+        """Column-major linear offset (what the Fortran side computes)."""
+        offset = 0
+        stride = 1
+        for i, dim in zip(indices, self.shape):
+            if not 0 <= i < dim:
+                raise BlobError("index %r out of bounds for %r" % (indices, self.shape))
+            offset += i * stride
+            stride *= dim
+        return offset

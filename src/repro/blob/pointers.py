@@ -1,0 +1,65 @@
+"""SWIG-style typed pointer handles.
+
+SWIG represents C pointers in Tcl as strings like
+``_a0b1c2d3_p_double``.  The :class:`PointerTable` reproduces that
+scheme: host objects get handle strings carrying a type suffix, and
+lookups type-check the suffix — which is exactly why blobutils needs
+explicit cast helpers (``void*`` won't pass where ``double*`` is
+expected).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+
+class PointerError(TypeError):
+    pass
+
+
+class PointerTable:
+    def __init__(self) -> None:
+        self._objects: dict[int, tuple[Any, str]] = {}
+        self._seq = itertools.count(0x1000)
+
+    def register(self, obj: Any, ctype: str) -> str:
+        addr = next(self._seq)
+        self._objects[addr] = (obj, ctype)
+        return "_%08x_p_%s" % (addr, ctype)
+
+    @staticmethod
+    def parse(handle: str) -> tuple[int, str]:
+        if not handle.startswith("_") or "_p_" not in handle:
+            raise PointerError("not a pointer handle: %r" % handle)
+        addr_text, _, ctype = handle[1:].partition("_p_")
+        try:
+            addr = int(addr_text, 16)
+        except ValueError:
+            raise PointerError("bad pointer handle: %r" % handle) from None
+        return addr, ctype
+
+    def lookup(self, handle: str, ctype: str | None = None) -> Any:
+        addr, handle_type = self.parse(handle)
+        entry = self._objects.get(addr)
+        if entry is None:
+            raise PointerError("dangling pointer %r" % handle)
+        obj, actual = entry
+        if ctype is not None and actual != ctype:
+            raise PointerError(
+                "type mismatch: %r is %s*, expected %s*"
+                % (handle, actual, ctype)
+            )
+        return obj
+
+    def cast(self, handle: str, ctype: str) -> str:
+        """Re-register the same object under a new pointer type."""
+        obj = self.lookup(handle)
+        return self.register(obj, ctype)
+
+    def free(self, handle: str) -> None:
+        addr, _ = self.parse(handle)
+        self._objects.pop(addr, None)
+
+    def __len__(self) -> int:
+        return len(self._objects)

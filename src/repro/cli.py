@@ -1,0 +1,194 @@
+"""Command-line interface: the ``stc`` + ``turbine`` analog.
+
+Usage::
+
+    python -m repro compile program.swift [-O2] [-o program.tic]
+    python -m repro run program.swift [--workers N] [--servers N]
+        [--engines N] [-O2] [--arg name=value ...] [--trace]
+    python -m repro runtcl program.tic [--workers N]
+    python -m repro submit program.swift --scheduler slurm --nodes 512
+
+``compile`` writes the generated Turbine Tcl (a ``.tic`` file, as real
+STC calls them); ``run`` compiles and executes on the thread-backed
+runtime; ``runtcl`` executes an already-compiled program; ``submit``
+renders the batch submission script for a real machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .api import SwiftRuntime
+from .core import SwiftError, compile_swift
+from .launch import JobSpec, render
+from .turbine import RuntimeConfig, run_turbine_program
+
+
+def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--servers", type=int, default=1)
+    p.add_argument("--engines", type=int, default=1)
+    p.add_argument(
+        "--arg",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="program argument readable via argv()",
+    )
+    p.add_argument("--trace", action="store_true", help="collect runtime logs")
+    p.add_argument(
+        "--interp-mode",
+        choices=["retain", "reinit"],
+        default="retain",
+        help="embedded interpreter state policy (paper III-C)",
+    )
+
+
+def _parse_args_list(pairs: list[str]) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit("--arg expects NAME=VALUE, got %r" % pair)
+        key, _, value = pair.partition("=")
+        out[key] = value
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Swift/T-style interlanguage parallel scripting",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile Swift to Turbine Tcl")
+    p_compile.add_argument("source")
+    p_compile.add_argument("-o", "--output", default=None)
+    for level in (0, 1, 2):
+        p_compile.add_argument(
+            "-O%d" % level,
+            dest="opt",
+            action="store_const",
+            const=level,
+        )
+    p_compile.set_defaults(opt=1)
+
+    p_run = sub.add_parser("run", help="compile and run a Swift program")
+    p_run.add_argument("source")
+    for level in (0, 1, 2):
+        p_run.add_argument(
+            "-O%d" % level, dest="opt", action="store_const", const=level
+        )
+    p_run.set_defaults(opt=1)
+    _add_runtime_flags(p_run)
+
+    p_runtcl = sub.add_parser("runtcl", help="run a compiled .tic program")
+    p_runtcl.add_argument("program")
+    _add_runtime_flags(p_runtcl)
+
+    p_submit = sub.add_parser(
+        "submit", help="render a batch submission script"
+    )
+    p_submit.add_argument("source")
+    p_submit.add_argument(
+        "--scheduler", choices=["pbs", "slurm", "cobalt"], required=True
+    )
+    p_submit.add_argument("--nodes", type=int, default=1)
+    p_submit.add_argument("--ppn", type=int, default=16)
+    p_submit.add_argument("--walltime", type=int, default=3600)
+    p_submit.add_argument("--queue", default="default")
+    p_submit.add_argument("--name", default=None)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    ns = build_parser().parse_args(argv)
+    try:
+        return _dispatch(ns)
+    except SwiftError as e:
+        print("swift: error: %s" % e, file=sys.stderr)
+        return 2
+    except OSError as e:
+        print("repro: %s" % e, file=sys.stderr)
+        return 1
+
+
+def _dispatch(ns: argparse.Namespace) -> int:
+    if ns.command == "compile":
+        with open(ns.source, "r", encoding="utf-8") as f:
+            source = f.read()
+        compiled = compile_swift(source, opt=ns.opt)
+        output = ns.output or _default_output(ns.source)
+        with open(output, "w", encoding="utf-8") as f:
+            f.write(compiled.tcl_text)
+        print(
+            "compiled %s -> %s (%d procs, %d lines, -O%d)"
+            % (ns.source, output, compiled.n_procs, compiled.n_lines, ns.opt)
+        )
+        return 0
+
+    if ns.command == "run":
+        with open(ns.source, "r", encoding="utf-8") as f:
+            source = f.read()
+        rt = SwiftRuntime(
+            workers=ns.workers,
+            servers=ns.servers,
+            engines=ns.engines,
+            opt=ns.opt,
+            echo=True,
+            interp_mode=ns.interp_mode,
+            args=_parse_args_list(ns.arg),
+        )
+        from .mpi.launcher import RankFailure
+
+        try:
+            rt.run(source)
+        except RankFailure as e:
+            print("run failed: %s" % e, file=sys.stderr)
+            return 3
+        return 0
+
+    if ns.command == "runtcl":
+        with open(ns.program, "r", encoding="utf-8") as f:
+            program = f.read()
+        config = RuntimeConfig(
+            size=ns.workers + ns.servers + ns.engines,
+            n_servers=ns.servers,
+            n_engines=ns.engines,
+            echo=True,
+            interp_mode=ns.interp_mode,
+            args=_parse_args_list(ns.arg),
+        )
+        from .mpi.launcher import RankFailure
+
+        try:
+            run_turbine_program(program, config)
+        except RankFailure as e:
+            print("run failed: %s" % e, file=sys.stderr)
+            return 3
+        return 0
+
+    if ns.command == "submit":
+        spec = JobSpec(
+            name=ns.name or ns.source.rsplit("/", 1)[-1].split(".")[0],
+            nodes=ns.nodes,
+            procs_per_node=ns.ppn,
+            walltime_s=ns.walltime,
+            queue=ns.queue,
+            program=_default_output(ns.source),
+        )
+        print(render(spec, ns.scheduler), end="")
+        return 0
+
+    raise AssertionError("unhandled command %r" % ns.command)
+
+
+def _default_output(source_path: str) -> str:
+    base = source_path.rsplit(".", 1)[0]
+    return base + ".tic"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""The STC compiler driver: Swift source -> Turbine Tcl program."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .codegen import Codegen, CompiledProgram
+from .parser import parse
+from .semantics import analyze
+
+
+@dataclass
+class CompileStats:
+    parse_time: float
+    check_time: float
+    codegen_time: float
+    n_procs: int
+    n_lines: int
+
+
+def compile_swift(
+    source: str, opt: int = 1, return_stats: bool = False
+) -> CompiledProgram | tuple[CompiledProgram, CompileStats]:
+    """Compile Swift source text at the given optimization level.
+
+    Levels: 0 = straight translation; 1 = constant folding and
+    compile-time branch elimination; 2 = additionally scalar constant
+    propagation and spawn-time value arithmetic.
+    """
+    t0 = time.perf_counter()
+    program = parse(source)
+    t1 = time.perf_counter()
+    funcs = analyze(program)
+    t2 = time.perf_counter()
+    compiled = Codegen(program, funcs, opt=opt).generate()
+    t3 = time.perf_counter()
+    if not return_stats:
+        return compiled
+    stats = CompileStats(
+        parse_time=t1 - t0,
+        check_time=t2 - t1,
+        codegen_time=t3 - t2,
+        n_procs=compiled.n_procs,
+        n_lines=compiled.n_lines,
+    )
+    return compiled, stats

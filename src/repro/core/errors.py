@@ -1,0 +1,25 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class SwiftError(Exception):
+    """Base for all compiler-reported errors."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class SwiftSyntaxError(SwiftError):
+    pass
+
+
+class SwiftTypeError(SwiftError):
+    pass
+
+
+class SwiftNameError(SwiftError):
+    pass

@@ -1,0 +1,141 @@
+"""Lexer for the Swift language (C-like syntax, §II-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SwiftSyntaxError
+
+KEYWORDS = {
+    "int",
+    "float",
+    "string",
+    "boolean",
+    "blob",
+    "void",
+    "if",
+    "else",
+    "foreach",
+    "for",
+    "in",
+    "wait",
+    "app",
+    "true",
+    "false",
+    "global",
+    "main",
+    "import",
+    "pragma",
+}
+
+_TWO_CHAR = [
+    "==", "!=", "<=", ">=", "&&", "||", "**", "=>", "+=",
+]
+_ONE_CHAR = "+-*/%<>=!(){}[];,:&|.@"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # id, kw, int, float, string, op, eof
+    text: str
+    line: int
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.text == op
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == "kw" and self.text == word
+
+
+def tokenize(src: str) -> list[Token]:
+    toks: list[Token] = []
+    i, n = 0, len(src)
+    line = 1
+    while i < n:
+        c = src[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        # comments: //, # and /* */
+        if c == "#" or src.startswith("//", i):
+            while i < n and src[i] != "\n":
+                i += 1
+            continue
+        if src.startswith("/*", i):
+            end = src.find("*/", i + 2)
+            if end < 0:
+                raise SwiftSyntaxError("unterminated block comment", line)
+            line += src.count("\n", i, end)
+            i = end + 2
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and src[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n:
+                ch = src[j]
+                if ch.isdigit():
+                    j += 1
+                elif ch == "." and not is_float and j + 1 < n and src[j + 1].isdigit():
+                    is_float = True
+                    j += 1
+                elif ch in "eE" and j + 1 < n and (src[j + 1].isdigit() or src[j + 1] in "+-"):
+                    is_float = True
+                    j += 2
+                    while j < n and src[j].isdigit():
+                        j += 1
+                    break
+                else:
+                    break
+            toks.append(Token("float" if is_float else "int", src[i:j], line))
+            i = j
+            continue
+        if c == '"':
+            j = i + 1
+            buf: list[str] = []
+            while j < n and src[j] != '"':
+                if src[j] == "\\" and j + 1 < n:
+                    esc = src[j + 1]
+                    buf.append(
+                        {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}.get(
+                            esc, "\\" + esc
+                        )
+                    )
+                    j += 2
+                    continue
+                if src[j] == "\n":
+                    line += 1
+                buf.append(src[j])
+                j += 1
+            if j >= n:
+                raise SwiftSyntaxError("unterminated string literal", line)
+            toks.append(Token("string", "".join(buf), line))
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (src[j].isalnum() or src[j] == "_"):
+                j += 1
+            word = src[i:j]
+            toks.append(Token("kw" if word in KEYWORDS else "id", word, line))
+            i = j
+            continue
+        matched = False
+        for op in _TWO_CHAR:
+            if src.startswith(op, i):
+                toks.append(Token("op", op, line))
+                i += 2
+                matched = True
+                break
+        if matched:
+            continue
+        if c in _ONE_CHAR:
+            toks.append(Token("op", c, line))
+            i += 1
+            continue
+        raise SwiftSyntaxError("unexpected character %r" % c, line)
+    toks.append(Token("eof", "", line))
+    return toks

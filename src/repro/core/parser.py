@@ -1,0 +1,439 @@
+"""Recursive-descent parser for the Swift language."""
+
+from __future__ import annotations
+
+from .errors import SwiftSyntaxError
+from .lexer import Token, tokenize
+from .swift_ast import (
+    AppDef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Decl,
+    Expr,
+    ExprStmt,
+    ExtFuncDef,
+    Foreach,
+    FuncDef,
+    If,
+    Literal,
+    LValue,
+    Param,
+    Program,
+    RangeSpec,
+    Subscript,
+    UnOp,
+    VarRef,
+    Wait,
+)
+from .types import SCALARS, parse_base
+
+
+class Parser:
+    def __init__(self, toks: list[Token]):
+        self.toks = toks
+        self.pos = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.toks[min(self.pos + ahead, len(self.toks) - 1)]
+
+    def next(self) -> Token:
+        tok = self.toks[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect_op(self, op: str) -> Token:
+        tok = self.next()
+        if not tok.is_op(op):
+            raise SwiftSyntaxError(
+                "expected %r but found %r" % (op, tok.text or "<eof>"), tok.line
+            )
+        return tok
+
+    def expect_id(self) -> Token:
+        tok = self.next()
+        if tok.kind != "id":
+            raise SwiftSyntaxError(
+                "expected identifier, found %r" % (tok.text or "<eof>"), tok.line
+            )
+        return tok
+
+    def accept_op(self, op: str) -> bool:
+        if self.peek().is_op(op):
+            self.next()
+            return True
+        return False
+
+    # -- program -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        prog = Program(main=Block(stmts=[]))
+        while self.peek().kind != "eof":
+            tok = self.peek()
+            if tok.is_kw("import") or tok.is_kw("pragma"):
+                # accepted and ignored (compat with Swift sources)
+                while not self.peek().is_op(";") and self.peek().kind != "eof":
+                    self.next()
+                self.accept_op(";")
+                continue
+            if tok.is_kw("app"):
+                prog.app_funcs.append(self.app_def())
+                continue
+            if tok.is_op("(") and self._looks_like_funcdef():
+                self.func_or_ext(prog)
+                continue
+            if tok.is_kw("main"):
+                self.next()
+                block = self.block()
+                prog.main.stmts.extend(block.stmts)
+                continue
+            prog.main.stmts.append(self.statement())
+        return prog
+
+    def _looks_like_funcdef(self) -> bool:
+        """Disambiguate '(int o) f(...)' from parenthesized expressions."""
+        # A funcdef output list starts with '(' TYPE or '()'.
+        nxt = self.peek(1)
+        return (nxt.kind == "kw" and nxt.text in SCALARS) or nxt.is_op(")")
+
+    # -- definitions ---------------------------------------------------------
+
+    def param_list(self, closer: str = ")") -> list[Param]:
+        params: list[Param] = []
+        if self.accept_op(closer):
+            return params
+        while True:
+            tok = self.next()
+            if tok.kind != "kw" or tok.text not in SCALARS:
+                raise SwiftSyntaxError("expected a type, found %r" % tok.text, tok.line)
+            ptype = parse_base(tok.text)
+            name = self.expect_id()
+            if self.accept_op("["):
+                self.expect_op("]")
+                ptype = ptype.array_of()
+            params.append(Param(line=tok.line, swift_type=ptype, name=name.text))
+            if self.accept_op(","):
+                continue
+            self.expect_op(closer)
+            return params
+
+    def func_or_ext(self, prog: Program) -> None:
+        start = self.expect_op("(")
+        outputs = self.param_list()
+        name = self.expect_id()
+        self.expect_op("(")
+        inputs = self.param_list()
+        tok = self.peek()
+        if tok.is_op("{"):
+            body = self.block()
+            prog.funcs.append(
+                FuncDef(
+                    line=start.line,
+                    name=name.text,
+                    outputs=outputs,
+                    inputs=inputs,
+                    body=body,
+                )
+            )
+            return
+        # extension function: "pkg" "version" [ "template..." ];
+        pkg = self.next()
+        if pkg.kind != "string":
+            raise SwiftSyntaxError(
+                "expected function body or package string", pkg.line
+            )
+        ver = self.next()
+        if ver.kind != "string":
+            raise SwiftSyntaxError("expected package version string", ver.line)
+        self.expect_op("[")
+        tmpl = self.next()
+        if tmpl.kind != "string":
+            raise SwiftSyntaxError("expected Tcl template string", tmpl.line)
+        self.expect_op("]")
+        self.expect_op(";")
+        prog.ext_funcs.append(
+            ExtFuncDef(
+                line=start.line,
+                name=name.text,
+                outputs=outputs,
+                inputs=inputs,
+                package=pkg.text,
+                version=ver.text,
+                template=tmpl.text,
+            )
+        )
+
+    def app_def(self) -> AppDef:
+        start = self.next()  # 'app'
+        self.expect_op("(")
+        outputs = self.param_list()
+        name = self.expect_id()
+        self.expect_op("(")
+        inputs = self.param_list()
+        self.expect_op("{")
+        command: list[Expr] = []
+        while not self.peek().is_op("}"):
+            command.append(self.primary())
+        self.expect_op("}")
+        return AppDef(
+            line=start.line,
+            name=name.text,
+            outputs=outputs,
+            inputs=inputs,
+            command=command,
+        )
+
+    # -- statements ---------------------------------------------------------------
+
+    def block(self) -> Block:
+        start = self.expect_op("{")
+        stmts = []
+        while not self.peek().is_op("}"):
+            if self.peek().kind == "eof":
+                raise SwiftSyntaxError("unterminated block", start.line)
+            stmts.append(self.statement())
+        self.next()
+        return Block(line=start.line, stmts=stmts)
+
+    def statement(self):
+        tok = self.peek()
+        if tok.is_op("@"):
+            return self.annotated_statement()
+        if tok.kind == "kw" and tok.text in SCALARS:
+            return self.declaration()
+        if tok.is_kw("if"):
+            return self.if_stmt()
+        if tok.is_kw("foreach"):
+            return self.foreach_stmt()
+        if tok.is_kw("wait"):
+            return self.wait_stmt()
+        if tok.is_op("{"):
+            return self.block()
+        return self.assign_or_call()
+
+    def declaration(self):
+        tok = self.next()
+        base = parse_base(tok.text)
+        name = self.expect_id()
+        swift_type = base
+        if self.accept_op("["):
+            self.expect_op("]")
+            swift_type = base.array_of()
+        init = None
+        if self.accept_op("="):
+            init = self.expr()
+        self.expect_op(";")
+        return Decl(line=tok.line, swift_type=swift_type, name=name.text, init=init)
+
+    def if_stmt(self) -> If:
+        tok = self.next()
+        self.expect_op("(")
+        cond = self.expr()
+        self.expect_op(")")
+        then = self.block()
+        els = None
+        if self.peek().is_kw("else"):
+            self.next()
+            if self.peek().is_kw("if"):
+                els = Block(stmts=[self.if_stmt()])
+            else:
+                els = self.block()
+        return If(line=tok.line, cond=cond, then=then, els=els)
+
+    def foreach_stmt(self) -> Foreach:
+        tok = self.next()
+        var = self.expect_id().text
+        index_var = None
+        if self.accept_op(","):
+            index_var = self.expect_id().text
+        in_tok = self.next()
+        if not in_tok.is_kw("in"):
+            raise SwiftSyntaxError("expected 'in' in foreach", in_tok.line)
+        if self.peek().is_op("["):
+            self.next()
+            lo = self.expr()
+            self.expect_op(":")
+            hi = self.expr()
+            step = None
+            if self.accept_op(":"):
+                step = self.expr()
+            self.expect_op("]")
+            iterable = RangeSpec(line=tok.line, lo=lo, hi=hi, step=step)
+        else:
+            iterable = self.expr()
+        body = self.block()
+        return Foreach(
+            line=tok.line,
+            var=var,
+            index_var=index_var,
+            iterable=iterable,
+            body=body,
+        )
+
+    def wait_stmt(self) -> Wait:
+        tok = self.next()
+        deep = False
+        if self.peek().kind == "id" and self.peek().text == "deep":
+            self.next()
+            deep = True
+        self.expect_op("(")
+        exprs = [self.expr()]
+        while self.accept_op(","):
+            exprs.append(self.expr())
+        self.expect_op(")")
+        body = self.block()
+        return Wait(line=tok.line, exprs=exprs, body=body, deep=deep)
+
+    def annotated_statement(self):
+        """@prio=<expr> and/or @target=<expr> before a leaf-call statement."""
+        annotations = {}
+        while self.peek().is_op("@"):
+            at = self.next()  # '@'
+            name = self.expect_id()
+            if name.text not in ("prio", "target"):
+                raise SwiftSyntaxError(
+                    "unknown annotation @%s (supported: @prio, @target)"
+                    % name.text,
+                    at.line,
+                )
+            if name.text in annotations:
+                raise SwiftSyntaxError(
+                    "duplicate annotation @%s" % name.text, at.line
+                )
+            self.expect_op("=")
+            annotations[name.text] = self.unary()
+        nxt = self.peek()
+        if nxt.kind == "kw" and nxt.text in SCALARS:
+            stmt = self.declaration()
+        else:
+            stmt = self.assign_or_call()
+        stmt.priority = annotations.get("prio")
+        stmt.target = annotations.get("target")
+        return stmt
+
+    def assign_or_call(self):
+        tok = self.peek()
+        expr = self.expr()
+        if self.peek().is_op("=") or self.peek().is_op(","):
+            targets = [self._to_lvalue(expr)]
+            while self.accept_op(","):
+                targets.append(self._to_lvalue(self.expr()))
+            self.expect_op("=")
+            exprs = [self.expr()]
+            while self.accept_op(","):
+                exprs.append(self.expr())
+            self.expect_op(";")
+            return Assign(line=tok.line, targets=targets, exprs=exprs)
+        self.expect_op(";")
+        if not isinstance(expr, Call):
+            raise SwiftSyntaxError(
+                "expression statement must be a function call", tok.line
+            )
+        return ExprStmt(line=tok.line, expr=expr)
+
+    def _to_lvalue(self, expr: Expr) -> LValue:
+        if isinstance(expr, VarRef):
+            return LValue(line=expr.line, name=expr.name)
+        if isinstance(expr, Subscript) and isinstance(expr.array, VarRef):
+            return LValue(line=expr.line, name=expr.array.name, index=expr.index)
+        raise SwiftSyntaxError("invalid assignment target", expr.line)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def expr(self) -> Expr:
+        return self.or_expr()
+
+    def _binlevel(self, ops: tuple[str, ...], sub) -> Expr:
+        node = sub()
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.text in ops:
+                self.next()
+                node = BinOp(line=tok.line, op=tok.text, left=node, right=sub())
+            else:
+                return node
+
+    def or_expr(self):
+        return self._binlevel(("||",), self.and_expr)
+
+    def and_expr(self):
+        return self._binlevel(("&&",), self.equality)
+
+    def equality(self):
+        return self._binlevel(("==", "!="), self.relational)
+
+    def relational(self):
+        return self._binlevel(("<", ">", "<=", ">="), self.additive)
+
+    def additive(self):
+        return self._binlevel(("+", "-"), self.multiplicative)
+
+    def multiplicative(self):
+        return self._binlevel(("*", "/", "%"), self.power)
+
+    def power(self) -> Expr:
+        base = self.unary()
+        tok = self.peek()
+        if tok.is_op("**"):
+            self.next()
+            return BinOp(line=tok.line, op="**", left=base, right=self.power())
+        return base
+
+    def unary(self) -> Expr:
+        tok = self.peek()
+        if tok.is_op("-") or tok.is_op("!"):
+            self.next()
+            return UnOp(line=tok.line, op=tok.text, operand=self.unary())
+        return self.postfix()
+
+    def postfix(self) -> Expr:
+        node = self.primary()
+        while True:
+            tok = self.peek()
+            if tok.is_op("["):
+                self.next()
+                index = self.expr()
+                self.expect_op("]")
+                node = Subscript(line=tok.line, array=node, index=index)
+            else:
+                return node
+
+    def primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            return Literal(line=tok.line, value=int(tok.text))
+        if tok.kind == "float":
+            return Literal(line=tok.line, value=float(tok.text))
+        if tok.kind == "string":
+            return Literal(line=tok.line, value=tok.text)
+        if tok.is_kw("true"):
+            return Literal(line=tok.line, value=True)
+        if tok.is_kw("false"):
+            return Literal(line=tok.line, value=False)
+        if tok.kind == "id":
+            if self.peek().is_op("("):
+                self.next()
+                args: list[Expr] = []
+                if not self.accept_op(")"):
+                    args.append(self.expr())
+                    while self.accept_op(","):
+                        args.append(self.expr())
+                    self.expect_op(")")
+                return Call(line=tok.line, func=tok.text, args=args)
+            return VarRef(line=tok.line, name=tok.text)
+        if tok.is_op("("):
+            node = self.expr()
+            self.expect_op(")")
+            return node
+        raise SwiftSyntaxError(
+            "unexpected token %r in expression" % (tok.text or "<eof>"), tok.line
+        )
+
+
+def parse(src: str) -> Program:
+    """Parse Swift source text into a Program AST."""
+    return Parser(tokenize(src)).parse_program()

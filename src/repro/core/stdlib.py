@@ -1,0 +1,128 @@
+"""Builtin Swift function signatures.
+
+Two kinds: *intrinsics* handled specially by the code generator
+(printf, trace, size, reductions, conversions, math), and *predefined
+extension functions* — the interlanguage builtins of the paper
+(python, r, system) which are ordinary Tcl-template extension
+functions shipped with the compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .swift_ast import ExtFuncDef, Param
+from .types import BLOB, BOOLEAN, FLOAT, INT, STRING, VOID, SwiftType
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    name: str
+    ins: tuple[SwiftType, ...]
+    outs: tuple[SwiftType, ...]
+    variadic: bool = False  # extra scalar args allowed after fixed ins
+    kind: str = "intrinsic"
+
+
+INT_ARRAY = INT.array_of()
+FLOAT_ARRAY = FLOAT.array_of()
+STRING_ARRAY = STRING.array_of()
+
+INTRINSICS: dict[str, Intrinsic] = {}
+
+
+def _add(name, ins, outs, variadic=False):
+    INTRINSICS[name] = Intrinsic(name, tuple(ins), tuple(outs), variadic)
+
+
+# I/O
+_add("printf", (STRING,), (), variadic=True)
+_add("trace", (), (), variadic=True)
+_add("assert", (BOOLEAN, STRING), ())
+
+# strings
+_add("strcat", (), (STRING,), variadic=True)
+_add("sprintf", (STRING,), (STRING,), variadic=True)
+_add("strlen", (STRING,), (INT,))
+_add("substring", (STRING, INT, INT), (STRING,))  # (s, start, length)
+_add("find", (STRING, STRING), (INT,))  # index of needle in haystack, -1 if absent
+_add("replace_all", (STRING, STRING, STRING), (STRING,))
+_add("toupper", (STRING,), (STRING,))
+_add("tolower", (STRING,), (STRING,))
+_add("trim", (STRING,), (STRING,))
+_add("split", (STRING, STRING), (STRING.array_of(),))
+_add("join", (STRING.array_of(), STRING), (STRING,))
+
+# program arguments (swift_run(..., args={...}))
+_add("argv", (STRING,), (STRING,), variadic=True)  # argv(name ?default?)
+_add("argv_int", (STRING,), (INT,), variadic=True)
+
+# conversions
+_add("toint", (FLOAT,), (INT,))
+_add("tofloat", (INT,), (FLOAT,))
+_add("fromint", (INT,), (STRING,))
+_add("fromfloat", (FLOAT,), (STRING,))
+_add("parseint", (STRING,), (INT,))
+
+# float math
+for _fn in ("sqrt", "exp", "log", "log10", "sin", "cos", "tan", "floor", "ceil"):
+    _add(_fn, (FLOAT,), (FLOAT,))
+
+# arrays
+_add("size", (), (INT,))  # polymorphic over arrays; checker special-cases
+_add("sum_integer", (INT_ARRAY,), (INT,))
+_add("sum_float", (FLOAT_ARRAY,), (FLOAT,))
+_add("max_integer", (INT_ARRAY,), (INT,))
+_add("min_integer", (INT_ARRAY,), (INT,))
+_add("max_float", (FLOAT_ARRAY,), (FLOAT,))
+_add("min_float", (FLOAT_ARRAY,), (FLOAT,))
+
+# blobs
+_add("blob_from_string", (STRING,), (BLOB,))
+_add("string_from_blob", (BLOB,), (STRING,))
+_add("blob_size", (BLOB,), (INT,))
+
+
+def predefined_extensions() -> list[ExtFuncDef]:
+    """The interlanguage builtins, expressed as extension functions."""
+
+    def p(t: SwiftType, name: str) -> Param:
+        return Param(swift_type=t, name=name)
+
+    return [
+        # python(code, expr): evaluate code in the embedded Python, then
+        # the expression; result returned as a string (paper §III-C).
+        ExtFuncDef(
+            name="python",
+            outputs=[p(STRING, "out")],
+            inputs=[p(STRING, "code"), p(STRING, "expr")],
+            package="python",
+            version="1.0",
+            template="set <<out>> [ python::eval <<code>> <<expr>> ]",
+        ),
+        ExtFuncDef(
+            name="python_persist",
+            outputs=[p(STRING, "out")],
+            inputs=[p(STRING, "code"), p(STRING, "expr")],
+            package="python",
+            version="1.0",
+            template="set <<out>> [ python::persist <<code>> <<expr>> ]",
+        ),
+        ExtFuncDef(
+            name="r",
+            outputs=[p(STRING, "out")],
+            inputs=[p(STRING, "code"), p(STRING, "expr")],
+            package="r",
+            version="1.0",
+            template="set <<out>> [ r::eval <<code>> <<expr>> ]",
+        ),
+        # system(command-line) -> stdout, via the shell interface
+        ExtFuncDef(
+            name="system",
+            outputs=[p(STRING, "out")],
+            inputs=[p(STRING, "command")],
+            package="shell",
+            version="1.0",
+            template="set <<out>> [ shell::exec_line <<command>> ]",
+        ),
+    ]

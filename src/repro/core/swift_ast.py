@@ -1,0 +1,179 @@
+"""AST node definitions for the Swift language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .types import SwiftType
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# --- expressions ------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    type: Optional[SwiftType] = None  # set by the checker
+
+
+@dataclass
+class Literal(Expr):
+    value: Any = None  # int | float | str | bool
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Subscript(Expr):
+    array: Expr = None
+    index: Expr = None
+
+
+# --- lvalues -----------------------------------------------------------------
+
+
+@dataclass
+class LValue(Node):
+    name: str = ""
+    index: Expr | None = None  # non-None for a[i] = ...
+    type: Optional[SwiftType] = None
+
+
+# --- statements -----------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Decl(Stmt):
+    swift_type: SwiftType = None
+    name: str = ""
+    init: Expr | None = None
+    priority: Expr | None = None  # @prio= annotation (init call only)
+    target: Expr | None = None  # @target= annotation (init call only)
+
+
+@dataclass
+class Assign(Stmt):
+    targets: list[LValue] = field(default_factory=list)
+    exprs: list[Expr] = field(default_factory=list)
+    priority: Expr | None = None  # @prio= annotation
+    target: Expr | None = None  # @target= annotation
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+    priority: Expr | None = None  # @prio= annotation
+    target: Expr | None = None  # @target= annotation
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Block = None
+    els: Block | None = None
+
+
+@dataclass
+class RangeSpec(Node):
+    lo: Expr = None
+    hi: Expr = None
+    step: Expr | None = None
+
+
+@dataclass
+class Foreach(Stmt):
+    var: str = ""  # element variable
+    index_var: str | None = None  # optional index variable
+    iterable: Expr | RangeSpec = None
+    body: Block = None
+
+
+@dataclass
+class Wait(Stmt):
+    exprs: list[Expr] = field(default_factory=list)
+    body: Block = None
+    deep: bool = False
+
+
+# --- definitions ---------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    swift_type: SwiftType = None
+    name: str = ""
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    outputs: list[Param] = field(default_factory=list)
+    inputs: list[Param] = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass
+class ExtFuncDef(Node):
+    """Tcl-template extension function (the paper's §III-A syntax)."""
+
+    name: str = ""
+    outputs: list[Param] = field(default_factory=list)
+    inputs: list[Param] = field(default_factory=list)
+    package: str = ""
+    version: str = "1.0"
+    template: str = ""
+
+
+@dataclass
+class AppDef(Node):
+    """Shell app function: body is a command line of string fragments."""
+
+    name: str = ""
+    outputs: list[Param] = field(default_factory=list)
+    inputs: list[Param] = field(default_factory=list)
+    command: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    funcs: list[FuncDef] = field(default_factory=list)
+    ext_funcs: list[ExtFuncDef] = field(default_factory=list)
+    app_funcs: list[AppDef] = field(default_factory=list)
+    main: Block = None

@@ -1,0 +1,87 @@
+"""The Swift type system: scalar futures and arrays of futures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SwiftTypeError
+
+
+@dataclass(frozen=True)
+class SwiftType:
+    base: str  # int | float | string | boolean | blob | void
+    is_array: bool = False
+
+    def __str__(self) -> str:
+        return self.base + ("[]" if self.is_array else "")
+
+    @property
+    def element(self) -> "SwiftType":
+        if not self.is_array:
+            raise SwiftTypeError("%s is not an array type" % self)
+        return SwiftType(self.base)
+
+    def array_of(self) -> "SwiftType":
+        if self.is_array:
+            raise SwiftTypeError("nested arrays are not supported")
+        return SwiftType(self.base, is_array=True)
+
+
+INT = SwiftType("int")
+FLOAT = SwiftType("float")
+STRING = SwiftType("string")
+BOOLEAN = SwiftType("boolean")
+BLOB = SwiftType("blob")
+VOID = SwiftType("void")
+
+SCALARS = {"int", "float", "string", "boolean", "blob", "void"}
+
+# Swift base type -> Turbine TD type tag
+TD_TYPE = {
+    "int": "integer",
+    "float": "float",
+    "string": "string",
+    "boolean": "boolean",
+    "blob": "blob",
+    "void": "void",
+}
+
+# Turbine store command per base type
+STORE_CMD = {
+    "int": "turbine::store_integer",
+    "float": "turbine::store_float",
+    "string": "turbine::store_string",
+    "boolean": "turbine::store_boolean",
+    "blob": "turbine::store_blob",
+    "void": "turbine::store_void",
+}
+
+
+def parse_base(name: str) -> SwiftType:
+    if name not in SCALARS:
+        raise SwiftTypeError("unknown type %r" % name)
+    return SwiftType(name)
+
+
+def numeric(t: SwiftType) -> bool:
+    return not t.is_array and t.base in ("int", "float")
+
+
+def promote(a: SwiftType, b: SwiftType, op: str, line: int = 0) -> SwiftType:
+    """Numeric promotion for a binary arithmetic operator."""
+    if not numeric(a) or not numeric(b):
+        raise SwiftTypeError(
+            "operator %r needs numeric operands, got %s and %s" % (op, a, b),
+            line,
+        )
+    if a.base == "float" or b.base == "float":
+        return FLOAT
+    return INT
+
+
+def assignable(dst: SwiftType, src: SwiftType) -> bool:
+    """May a value of type src be assigned to a variable of type dst?"""
+    if dst == src:
+        return True
+    # implicit int -> float widening, as in Swift
+    return dst == FLOAT and src == INT

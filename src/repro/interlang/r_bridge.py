@@ -1,0 +1,51 @@
+"""The embedded R interpreter leaf (paper §III-C), over repro.rlang."""
+
+from __future__ import annotations
+
+from ..rlang import RError, RInterp
+from ..rlang.values import r_repr
+
+
+class RTaskError(RuntimeError):
+    pass
+
+
+class EmbeddedR:
+    """Same retain/reinit state policy as :class:`EmbeddedPython`."""
+
+    def __init__(self, mode: str = "retain", preamble: str = ""):
+        if mode not in ("retain", "reinit"):
+            raise ValueError("mode must be 'retain' or 'reinit'")
+        self.mode = mode
+        self.preamble = preamble
+        self.init_count = 0
+        self.task_count = 0
+        self.interp = RInterp()
+        self._initialize()
+
+    def _initialize(self) -> None:
+        self.interp.reset()
+        self.init_count += 1
+        if self.preamble:
+            self.interp.eval_code(self.preamble)
+
+    def reset(self) -> None:
+        self._initialize()
+
+    @property
+    def stdout(self) -> list[str]:
+        return self.interp.output
+
+    def eval(self, code: str, expr: str = "") -> str:
+        """Swift/T's ``r(code, expr)``: run code, stringify expr."""
+        self.task_count += 1
+        if self.mode == "reinit":
+            self._initialize()
+        try:
+            if code:
+                self.interp.eval_code(code)
+            if expr:
+                return r_repr(self.interp.eval_code(expr))
+            return ""
+        except RError as e:
+            raise RTaskError("R task failed: %s" % e) from e

@@ -1,0 +1,51 @@
+"""Shell/app leaf tasks.
+
+Swift's ``app`` functions run external programs.  On systems that allow
+fork/exec this uses real subprocesses; it is also the baseline for the
+EMBED benchmark (launching ``python -c`` per task versus the embedded
+interpreter).
+"""
+
+from __future__ import annotations
+
+import shlex
+import subprocess
+import sys
+
+
+class ShellTaskError(RuntimeError):
+    pass
+
+
+def run_command(argv: list[str], timeout: float = 60.0) -> str:
+    """Run a command; return stdout (stripped).  Raises on failure."""
+    if not argv:
+        raise ShellTaskError("empty command")
+    try:
+        proc = subprocess.run(
+            argv,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            check=False,
+        )
+    except FileNotFoundError:
+        raise ShellTaskError("command not found: %s" % argv[0]) from None
+    except subprocess.TimeoutExpired:
+        raise ShellTaskError("command timed out: %s" % argv[0]) from None
+    if proc.returncode != 0:
+        raise ShellTaskError(
+            "command failed (%d): %s\n%s"
+            % (proc.returncode, " ".join(argv), proc.stderr.strip())
+        )
+    return proc.stdout.rstrip("\n")
+
+
+def run_line(line: str, timeout: float = 60.0) -> str:
+    return run_command(shlex.split(line), timeout=timeout)
+
+
+def python_exec_baseline(code: str, expr: str) -> str:
+    """The paper's rejected strategy: launch the interpreter executable."""
+    script = code + ("\nimport sys; sys.stdout.write(str(%s))" % expr if expr else "")
+    return run_command([sys.executable, "-c", script])

@@ -1,0 +1,13 @@
+"""Scheduler integration: job specs, submission scripts, simulated batch queue."""
+
+from .jobspec import RENDERERS, JobError, JobSpec, render
+from .scheduler import JobRecord, SimScheduler
+
+__all__ = [
+    "JobSpec",
+    "JobError",
+    "JobRecord",
+    "SimScheduler",
+    "render",
+    "RENDERERS",
+]

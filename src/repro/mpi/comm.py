@@ -1,0 +1,273 @@
+"""Communicators, point-to-point messaging, and collectives."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+# Reserved internal tag space for collectives (user tags must be >= 0
+# and < _COLL_BASE).
+_COLL_BASE = 1_000_000_000
+
+
+class AbortError(RuntimeError):
+    """The world was aborted (a peer rank raised)."""
+
+
+class DeadlockError(RuntimeError):
+    """A blocking receive timed out with no matching message."""
+
+
+@dataclass
+class Status:
+    """Result metadata of a receive or probe."""
+
+    source: int
+    tag: int
+
+
+@dataclass
+class CommStats:
+    """Per-rank traffic counters, used by benchmarks and tests."""
+
+    sends: int = 0
+    recvs: int = 0
+    bytes_sent: int = 0
+
+    def add_send(self, payload: Any) -> None:
+        self.sends += 1
+        self.bytes_sent += _approx_size(payload)
+
+
+def _approx_size(obj: Any) -> int:
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, (int, float, bool)) or obj is None:
+        return 8
+    if isinstance(obj, (list, tuple)):
+        return 8 + sum(_approx_size(x) for x in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(_approx_size(k) + _approx_size(v) for k, v in obj.items())
+    nbytes = getattr(obj, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    return 64
+
+
+class _Mailbox:
+    """One rank's incoming message queue with tag/source matching."""
+
+    __slots__ = ("lock", "cond", "messages")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.messages: list[tuple[int, int, Any]] = []  # (source, tag, payload)
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self.cond:
+            self.messages.append((source, tag, payload))
+            self.cond.notify_all()
+
+    def _match(self, source: int, tag: int) -> int:
+        for i, (src, t, _) in enumerate(self.messages):
+            if (source == ANY_SOURCE or src == source) and (
+                tag == ANY_TAG or t == tag
+            ):
+                return i
+        return -1
+
+    def get(
+        self,
+        source: int,
+        tag: int,
+        timeout: float | None,
+        aborted: threading.Event,
+    ) -> tuple[Any, Status]:
+        import time as _time
+
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        with self.cond:
+            while True:
+                if aborted.is_set():
+                    raise AbortError("world aborted during recv")
+                i = self._match(source, tag)
+                if i >= 0:
+                    src, t, payload = self.messages.pop(i)
+                    return payload, Status(src, t)
+                if deadline is None:
+                    wait_t = 0.25
+                else:
+                    wait_t = min(0.25, deadline - _time.monotonic())
+                    if wait_t <= 0:
+                        raise DeadlockError(
+                            "recv(source=%d, tag=%d) timed out" % (source, tag)
+                        )
+                self.cond.wait(timeout=wait_t)
+
+    def probe(self, source: int, tag: int) -> Status | None:
+        with self.cond:
+            i = self._match(source, tag)
+            if i < 0:
+                return None
+            src, t, _ = self.messages[i]
+            return Status(src, t)
+
+
+class World:
+    """A set of ranks sharing an address space (one simulated MPI job)."""
+
+    def __init__(self, size: int, recv_timeout: float | None = 120.0):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.recv_timeout = recv_timeout
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.stats = [CommStats() for _ in range(size)]
+        self.aborted = threading.Event()
+        self.abort_reason: BaseException | None = None
+        self._barrier = threading.Barrier(size)
+
+    def comm(self, rank: int) -> "Comm":
+        return Comm(self, rank)
+
+    def abort(self, reason: BaseException | None = None) -> None:
+        if reason is not None and self.abort_reason is None:
+            self.abort_reason = reason
+        self.aborted.set()
+        # Wake all sleepers.
+        for mb in self.mailboxes:
+            with mb.cond:
+                mb.cond.notify_all()
+        try:
+            self._barrier.abort()
+        except Exception:
+            pass
+
+
+class Comm:
+    """One rank's view of the world: MPI_COMM_WORLD analog."""
+
+    def __init__(self, world: World, rank: int):
+        if not 0 <= rank < world.size:
+            raise ValueError("rank %d out of range" % rank)
+        self.world = world
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if self.world.aborted.is_set():
+            raise AbortError("world aborted during send")
+        if not 0 <= dest < self.size:
+            raise ValueError("bad destination rank %d" % dest)
+        self.world.stats[self.rank].add_send(obj)
+        self.world.mailboxes[dest].put(self.rank, tag, obj)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> tuple[Any, Status]:
+        if timeout is None:
+            timeout = self.world.recv_timeout
+        obj, status = self.world.mailboxes[self.rank].get(
+            source, tag, timeout, self.world.aborted
+        )
+        self.world.stats[self.rank].recvs += 1
+        return obj, status
+
+    def recv_poll(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float = 0.05,
+    ) -> tuple[Any, Status] | None:
+        """Like recv but returns None on timeout instead of raising."""
+        try:
+            obj, status = self.world.mailboxes[self.rank].get(
+                source, tag, timeout, self.world.aborted
+            )
+        except DeadlockError:
+            return None
+        self.world.stats[self.rank].recvs += 1
+        return obj, status
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        if self.world.aborted.is_set():
+            raise AbortError("world aborted during probe")
+        return self.world.mailboxes[self.rank].probe(source, tag)
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self) -> None:
+        try:
+            self.world._barrier.wait()
+        except threading.BrokenBarrierError:
+            raise AbortError("world aborted during barrier") from None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        tag = _COLL_BASE + 1
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.send(obj, r, tag)
+            return obj
+        value, _ = self.recv(source=root, tag=tag)
+        return value
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        tag = _COLL_BASE + 2
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for _ in range(self.size - 1):
+                value, st = self.recv(tag=tag)
+                out[st.source] = value
+            return out
+        self.send(obj, root, tag)
+        return None
+
+    def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
+        tag = _COLL_BASE + 3
+        if self.rank == root:
+            assert objs is not None and len(objs) == self.size
+            for r in range(self.size):
+                if r != root:
+                    self.send(objs[r], r, tag)
+            return objs[root]
+        value, _ = self.recv(source=root, tag=tag)
+        return value
+
+    def allgather(self, obj: Any) -> list[Any]:
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, obj: Any, op=None, root: int = 0) -> Any:
+        values = self.gather(obj, root=root)
+        if self.rank != root:
+            return None
+        assert values is not None
+        if op is None:
+            total = values[0]
+            for v in values[1:]:
+                total = total + v
+            return total
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, obj: Any, op=None) -> Any:
+        return self.bcast(self.reduce(obj, op=op, root=0), root=0)

@@ -1,0 +1,67 @@
+"""The ``mpiexec`` analog: run a rank program on N thread-backed ranks."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .comm import Comm, World
+
+
+class RankFailure(RuntimeError):
+    """One or more ranks raised; carries (rank, exception) pairs."""
+
+    def __init__(self, failures: list[tuple[int, BaseException]]):
+        self.failures = failures
+        msg = "; ".join(
+            "rank %d: %s: %s" % (r, type(e).__name__, e) for r, e in failures
+        )
+        super().__init__(msg)
+
+
+def run_world(
+    size: int,
+    main: Callable[[Comm], Any],
+    recv_timeout: float | None = 120.0,
+    join_timeout: float | None = 300.0,
+) -> list[Any]:
+    """Launch ``main(comm)`` on ``size`` ranks; return per-rank results.
+
+    Equivalent of ``mpiexec -n size python program.py``.  If any rank
+    raises, the world is aborted (waking blocked receivers) and a
+    :class:`RankFailure` summarizing all failures is raised.
+    """
+    world = World(size, recv_timeout=recv_timeout)
+    results: list[Any] = [None] * size
+    failures: list[tuple[int, BaseException]] = []
+    failures_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = world.comm(rank)
+        try:
+            results[rank] = main(comm)
+        except BaseException as e:  # noqa: BLE001 - report any rank failure
+            with failures_lock:
+                failures.append((rank, e))
+            world.abort(e)
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name="rank-%d" % r, daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=join_timeout)
+        if t.is_alive():
+            world.abort(TimeoutError("rank thread did not finish"))
+    for t in threads:
+        t.join(timeout=10.0)
+    if failures:
+        failures.sort(key=lambda p: p[0])
+        # Suppress secondary AbortErrors triggered by the primary failure.
+        from .comm import AbortError
+
+        primary = [p for p in failures if not isinstance(p[1], AbortError)]
+        raise RankFailure(primary or failures)
+    return results

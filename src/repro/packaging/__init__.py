@@ -1,0 +1,13 @@
+"""Static packages and the filesystem metadata model (paper §IV)."""
+
+from .fsmodel import FSStats, MetadataFS
+from .package import Module, PackageError, StaticPackage, load_loose_modules
+
+__all__ = [
+    "StaticPackage",
+    "Module",
+    "PackageError",
+    "MetadataFS",
+    "FSStats",
+    "load_loose_modules",
+]

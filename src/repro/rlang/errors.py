@@ -1,0 +1,25 @@
+"""R interpreter errors and control-flow signals."""
+
+from __future__ import annotations
+
+
+class RError(Exception):
+    """An R-level error (``stop()`` or a semantic violation)."""
+
+
+class RParseError(RError):
+    pass
+
+
+class BreakSignal(Exception):
+    pass
+
+
+class NextSignal(Exception):
+    pass
+
+
+class ReturnSignal(Exception):
+    def __init__(self, value):
+        super().__init__("return")
+        self.value = value

@@ -1,0 +1,17 @@
+"""Discrete-event cluster model for large-scale Swift/T behavior."""
+
+from .des import Simulator
+from .model import ClusterModel, ClusterParams, ClusterResult, simulate
+from .workload import bimodal, constant, lognormal, uniform
+
+__all__ = [
+    "Simulator",
+    "ClusterModel",
+    "ClusterParams",
+    "ClusterResult",
+    "simulate",
+    "constant",
+    "uniform",
+    "lognormal",
+    "bimodal",
+]

@@ -1,0 +1,44 @@
+"""A minimal discrete-event simulator core."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class Simulator:
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%g)" % delay)
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+
+    def at(self, time: float, fn: Callable, *args: Any) -> None:
+        if time < self.now:
+            raise ValueError("cannot schedule into the past (t=%g < now=%g)" % (time, self.now))
+        heapq.heappush(self._heap, (time, next(self._seq), fn, args))
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Process events until the heap drains (or a bound is hit)."""
+        n = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            if max_events is not None and n >= max_events:
+                break
+            time, _, fn, args = heapq.heappop(self._heap)
+            self.now = time
+            fn(*args)
+            n += 1
+        self.events_processed += n
+        return n
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,36 @@
+"""Task-duration workload generators for the cluster model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def constant(n: int, duration: float) -> np.ndarray:
+    return np.full(n, duration, dtype=np.float64)
+
+
+def uniform(n: int, lo: float, hi: float, seed: int = 0) -> np.ndarray:
+    rng = np.random.RandomState(seed)
+    return rng.uniform(lo, hi, n)
+
+
+def lognormal(n: int, median: float, sigma: float = 1.0, seed: int = 0) -> np.ndarray:
+    """Heavy-tailed durations: the varying-runtime regime of §II-A."""
+    rng = np.random.RandomState(seed)
+    return np.exp(rng.normal(np.log(median), sigma, n))
+
+
+def bimodal(
+    n: int,
+    short: float,
+    long: float,
+    long_fraction: float = 0.1,
+    seed: int = 0,
+) -> np.ndarray:
+    """A few stragglers among many short tasks."""
+    rng = np.random.RandomState(seed)
+    durations = np.full(n, short, dtype=np.float64)
+    n_long = max(1, int(round(n * long_fraction)))
+    idx = rng.choice(n, size=n_long, replace=False)
+    durations[idx] = long
+    return durations

@@ -1,0 +1,30 @@
+"""SWIG/FortWrap-style native-code binding pipeline (paper §III-B, Fig. 3).
+
+C headers are parsed into declarations (:mod:`cparse`); Fortran modules
+are first translated to C headers (:mod:`fortwrap`, the FortWrap
+analog); declarations are paired with implementations in a
+:class:`NativeLibrary` (the stand-in for the compiled ``.so``); and
+:mod:`bindgen` generates the Tcl commands with SWIG typemap semantics,
+including typed-pointer checking at the blob boundary.
+"""
+
+from .bindgen import install_package, make_package_loader, register_library
+from .cparse import CFunc, CParam, CParseError, CType, parse_header
+from .fortwrap import FortranError, translate_fortran
+from .nativelib import NativeError, NativeFunc, NativeLibrary
+
+__all__ = [
+    "parse_header",
+    "CFunc",
+    "CParam",
+    "CType",
+    "CParseError",
+    "translate_fortran",
+    "FortranError",
+    "NativeLibrary",
+    "NativeFunc",
+    "NativeError",
+    "register_library",
+    "install_package",
+    "make_package_loader",
+]

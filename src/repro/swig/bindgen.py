@@ -1,0 +1,149 @@
+"""Tcl binding generation (the SWIG back half, Fig. 3 of the paper).
+
+For every declared native function this generates a Tcl command
+``<lib>::<func>`` that performs SWIG-style typemap conversions at the
+boundary:
+
+* numeric scalars <-> Tcl strings;
+* ``char*`` <-> Tcl strings;
+* data pointers (``double*``, ``void*``, ...) <-> blob handles or
+  SWIG typed-pointer handles, with the type suffix checked — the
+  ``void*``/``double*`` mismatch the paper calls out is a real error
+  here, and ``blobutils::cast`` is the documented fix.
+
+The package integrates with ``package require`` so Swift extension
+functions can name it, exactly like a SWIG-built Tcl package.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..blob import Blob, PointerTable
+from ..blob.pointers import PointerError
+from ..tcl.errors import TclError
+from ..tcl.expr import to_string
+from ..tcl.interp import Interp
+from .cparse import CType
+from .nativelib import NativeLibrary
+
+
+def _from_tcl(interp: Interp, ctype: CType, text: str, pointers: PointerTable) -> Any:
+    if ctype.is_string:
+        return text
+    if ctype.pointers == 0:
+        if ctype.base in ("int",):
+            try:
+                return int(text)
+            except ValueError:
+                raise TclError(
+                    "expected %s, got %r" % (ctype, text)
+                ) from None
+        if ctype.base in ("float", "double"):
+            try:
+                return float(text)
+            except ValueError:
+                raise TclError(
+                    "expected %s, got %r" % (ctype, text)
+                ) from None
+        if ctype.base == "char":
+            return text[:1]
+        raise TclError("unsupported parameter type %s" % ctype)
+    # a data pointer: accept a blob handle or a typed pointer handle
+    if text.startswith("_") and "_p_" in text:
+        try:
+            return pointers.lookup(text, ctype.base if ctype.base != "void" else None)
+        except PointerError as e:
+            raise TclError(str(e)) from None
+    if interp.has_object(text):
+        obj = interp.unwrap(text)
+        if isinstance(obj, Blob):
+            if ctype.base == "void":
+                return obj
+            try:
+                return obj.cast(
+                    "double" if ctype.base == "double" else
+                    "float32" if ctype.base == "float" else
+                    "int" if ctype.base == "int" else ctype.base
+                ).data
+            except ValueError as e:
+                raise TclError(str(e)) from None
+        return obj
+    raise TclError(
+        "argument %r is not a valid %s pointer handle" % (text, ctype)
+    )
+
+
+def _to_tcl(interp: Interp, ctype: CType, value: Any, pointers: PointerTable) -> str:
+    if ctype.is_void:
+        return ""
+    if ctype.is_string:
+        return "" if value is None else str(value)
+    if ctype.pointers == 0:
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        return to_string(value)
+    # pointer return: wrap as a blob handle (ndarray/bytes) or typed pointer
+    if isinstance(value, np.ndarray):
+        ct = {"double": "double", "float": "float32", "int": "int"}.get(
+            ctype.base, "byte"
+        )
+        return interp.wrap_object(Blob(np.ascontiguousarray(value), ct), "blob")
+    if isinstance(value, (bytes, bytearray)):
+        return interp.wrap_object(Blob.from_bytes(bytes(value)), "blob")
+    if isinstance(value, Blob):
+        return interp.wrap_object(value, "blob")
+    return pointers.register(value, ctype.base)
+
+
+def register_library(interp: Interp, lib: NativeLibrary) -> None:
+    """Register Tcl command bindings for a native library (eager)."""
+    pointers = getattr(interp, "_swig_pointers", None)
+    if pointers is None:
+        pointers = PointerTable()
+        interp._swig_pointers = pointers  # type: ignore[attr-defined]
+
+    for fname, nf in lib.functions.items():
+        cmd_name = "%s::%s" % (lib.name, fname)
+
+        def command(it, args, _nf=nf, _ptrs=pointers):
+            decl = _nf.decl
+            if len(args) != len(decl.params):
+                raise TclError(
+                    "wrong # args for %s: expected %d, got %d"
+                    % (decl.name, len(decl.params), len(args))
+                )
+            converted = [
+                _from_tcl(it, p.ctype, a, _ptrs)
+                for p, a in zip(decl.params, args)
+            ]
+            try:
+                result = _nf.impl(*converted)
+            except TclError:
+                raise
+            except Exception as e:
+                raise TclError(
+                    "native call %s failed: %s: %s"
+                    % (decl.name, type(e).__name__, e)
+                ) from e
+            _nf.calls += 1
+            return _to_tcl(it, decl.ret, result, _ptrs)
+
+        interp.register(cmd_name, command)
+    interp.packages_provided.setdefault(lib.name, lib.version)
+
+
+def make_package_loader(lib: NativeLibrary):
+    """A loader suitable for interp.package_loaders (lazy require)."""
+
+    def load(interp: Interp) -> None:
+        register_library(interp, lib)
+
+    return lib.version, load
+
+
+def install_package(interp: Interp, lib: NativeLibrary) -> None:
+    """Make ``package require <lib>`` work without eager registration."""
+    interp.package_loaders[lib.name] = make_package_loader(lib)

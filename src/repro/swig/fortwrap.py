@@ -1,0 +1,162 @@
+"""FortWrap analog: translate Fortran interfaces to C declarations.
+
+The paper's pipeline for Fortran is: FortWrap generates a C++-formatted
+header from the Fortran source, which then goes through SWIG.  This
+module implements the header-generation half for a Fortran 90 subset:
+modules containing ``subroutine`` and ``function`` definitions with
+``intent`` attributes.  The output is C text accepted by
+:func:`repro.swig.cparse.parse_header`.
+
+Mapping rules (standard Fortran/C interop):
+
+* ``integer`` -> ``int`` (``intent(in)`` scalar passes by value here;
+  ``intent(out)/(inout)`` or array -> ``int*``)
+* ``real(8)`` / ``double precision`` -> ``double`` / ``double*``
+* ``real`` / ``real(4)`` -> ``float`` / ``float*``
+* ``character(len=*)`` -> ``char*``
+* ``logical`` -> ``int``
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class FortranError(ValueError):
+    pass
+
+
+_TYPE_MAP = {
+    "integer": "int",
+    "real(8)": "double",
+    "real(kind=8)": "double",
+    "doubleprecision": "double",
+    "real": "float",
+    "real(4)": "float",
+    "logical": "int",
+}
+
+_SUB_RE = re.compile(
+    r"^\s*subroutine\s+(\w+)\s*\(([^)]*)\)", re.IGNORECASE
+)
+_FUNC_RE = re.compile(
+    r"^\s*function\s+(\w+)\s*\(([^)]*)\)\s*(?:result\s*\(\s*(\w+)\s*\))?",
+    re.IGNORECASE,
+)
+_DECL_RE = re.compile(
+    r"^\s*([\w()=,* ]+?)\s*(?:,\s*(intent\s*\(\s*(\w+)\s*\)))?\s*::\s*(.+)$",
+    re.IGNORECASE,
+)
+
+
+@dataclass
+class _ArgInfo:
+    ftype: str = ""
+    intent: str = "inout"
+    is_array: bool = False
+
+
+def _normalize_type(text: str) -> str:
+    key = text.lower().replace(" ", "")
+    if key.startswith("character"):
+        return "char*"
+    ctype = _TYPE_MAP.get(key)
+    if ctype is None:
+        raise FortranError("unsupported Fortran type %r" % text)
+    return ctype
+
+
+def _ctype_for(info: _ArgInfo) -> str:
+    base = _normalize_type(info.ftype)
+    if base == "char*":
+        return "char*"
+    if info.is_array or info.intent in ("out", "inout"):
+        return base + "*"
+    return base
+
+
+def translate_fortran(source: str) -> str:
+    """Translate Fortran module source to a C header string."""
+    lines = [ln.split("!")[0].rstrip() for ln in source.split("\n")]
+    decls: list[str] = []
+    i = 0
+    n = len(lines)
+    while i < n:
+        line = lines[i]
+        m_sub = _SUB_RE.match(line)
+        m_fun = _FUNC_RE.match(line) if m_sub is None else None
+        if m_sub is None and m_fun is None:
+            i += 1
+            continue
+        if m_sub is not None:
+            name = m_sub.group(1)
+            arg_names = [a.strip() for a in m_sub.group(2).split(",") if a.strip()]
+            result_name = None
+        else:
+            name = m_fun.group(1)
+            arg_names = [a.strip() for a in m_fun.group(2).split(",") if a.strip()]
+            result_name = m_fun.group(3) or name
+        args: dict[str, _ArgInfo] = {a: _ArgInfo() for a in arg_names}
+        result_type: str | None = None
+        # scan the body for declarations
+        i += 1
+        end_re = re.compile(
+            r"^\s*end\s*(subroutine|function)", re.IGNORECASE
+        )
+        while i < n and not end_re.match(lines[i]):
+            m = _DECL_RE.match(lines[i])
+            if m:
+                ftype = m.group(1).strip()
+                intent = (m.group(3) or "inout").lower()
+                names_part = m.group(4)
+                for piece in _split_decl_names(names_part):
+                    var, is_array = piece
+                    if var in args:
+                        args[var] = _ArgInfo(ftype, intent, is_array)
+                    elif result_name is not None and var == result_name:
+                        result_type = _normalize_type(ftype)
+            i += 1
+        i += 1  # past 'end subroutine/function'
+        for a, info in args.items():
+            if not info.ftype:
+                raise FortranError(
+                    "argument %r of %s has no type declaration" % (a, name)
+                )
+        params = ", ".join(
+            "%s %s" % (_ctype_for(args[a]), a) for a in arg_names
+        )
+        if result_name is None:
+            decls.append("void %s(%s);" % (name, params))
+        else:
+            if result_type is None:
+                raise FortranError(
+                    "function %s: result %r has no type" % (name, result_name)
+                )
+            decls.append("%s %s(%s);" % (result_type, name, params))
+    if not decls:
+        raise FortranError("no subroutines or functions found")
+    return "\n".join(decls) + "\n"
+
+
+def _split_decl_names(text: str) -> list[tuple[str, bool]]:
+    """Split 'a(n), b, c(m,k)' into [(a,True),(b,False),(c,True)]."""
+    out: list[tuple[str, bool]] = []
+    depth = 0
+    current = ""
+    for ch in text + ",":
+        if ch == "," and depth == 0:
+            piece = current.strip()
+            current = ""
+            if not piece:
+                continue
+            m = re.match(r"^(\w+)\s*(\(.*\))?$", piece)
+            if m:
+                out.append((m.group(1), m.group(2) is not None))
+            continue
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        current += ch
+    return out

@@ -1,0 +1,81 @@
+"""Simulated native-code libraries.
+
+The paper's workflow compiles C/C++/Fortran into a loadable library
+whose functions SWIG exposes to Tcl.  Offline we cannot compile machine
+code, so a :class:`NativeLibrary` pairs each *parsed C declaration*
+with a Python/NumPy implementation standing in for the compiled object
+file.  Everything above this point — the declaration parsing, the
+binding generation, the pointer/blob conversions at the Tcl boundary —
+is the real pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .cparse import CFunc, CParseError, parse_header
+
+
+class NativeError(RuntimeError):
+    pass
+
+
+@dataclass
+class NativeFunc:
+    decl: CFunc
+    impl: Callable
+    calls: int = 0
+
+
+class NativeLibrary:
+    """A named library of declared-and-implemented native functions."""
+
+    def __init__(self, name: str, version: str = "1.0"):
+        self.name = name
+        self.version = version
+        self.functions: dict[str, NativeFunc] = {}
+
+    def function(self, declaration: str):
+        """Decorator: declare a C prototype and attach its implementation.
+
+        >>> lib = NativeLibrary("stats")
+        >>> @lib.function("double arr_mean(double* x, int n);")
+        ... def arr_mean(x, n):
+        ...     return float(x[:n].mean())
+        """
+        decls = parse_header(
+            declaration if declaration.rstrip().endswith(";") else declaration + ";"
+        )
+        if len(decls) != 1:
+            raise CParseError(
+                "expected exactly one declaration, got %d" % len(decls)
+            )
+        decl = decls[0]
+
+        def wrap(fn: Callable) -> Callable:
+            self.functions[decl.name] = NativeFunc(decl=decl, impl=fn)
+            return fn
+
+        return wrap
+
+    def add_header(self, header_text: str, impls: dict[str, Callable]) -> None:
+        """Bind a whole header at once against a dict of implementations."""
+        for decl in parse_header(header_text):
+            impl = impls.get(decl.name)
+            if impl is None:
+                raise NativeError(
+                    "no implementation provided for %s" % decl.signature()
+                )
+            self.functions[decl.name] = NativeFunc(decl=decl, impl=impl)
+
+    def call(self, name: str, args: list[Any]) -> Any:
+        nf = self.functions.get(name)
+        if nf is None:
+            raise NativeError("library %s has no function %r" % (self.name, name))
+        nf.calls += 1
+        return nf.impl(*args)
+
+    def header_text(self) -> str:
+        """Regenerate a header for the library (round-trip aid)."""
+        return "\n".join(nf.decl.signature() + ";" for nf in self.functions.values())

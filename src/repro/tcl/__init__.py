@@ -1,0 +1,29 @@
+"""A mini-Tcl interpreter in pure Python.
+
+This is the compile target of the Swift/T compiler (STC) in the
+reproduced system, exactly as real STC targets real Tcl: generated
+Turbine code, user Tcl snippets embedded in Swift, and SWIG-generated
+bindings all execute here.
+
+Public surface:
+
+* :class:`Interp` — an interpreter instance (one per runtime rank).
+* :func:`parse_list` / :func:`format_list` — Tcl list round-trip.
+* :class:`TclError` and friends — return-code exceptions.
+"""
+
+from .errors import TclBreak, TclContinue, TclError, TclReturn
+from .interp import Interp, TclProc
+from .listutil import format_element, format_list, parse_list
+
+__all__ = [
+    "Interp",
+    "TclProc",
+    "TclError",
+    "TclReturn",
+    "TclBreak",
+    "TclContinue",
+    "parse_list",
+    "format_list",
+    "format_element",
+]

@@ -1,0 +1,14 @@
+"""Builtin Tcl command registration."""
+
+from __future__ import annotations
+
+
+def register_all(interp) -> None:
+    from . import control, dictcmds, listcmds, misc, stringcmds, var
+
+    var.register(interp)
+    control.register(interp)
+    listcmds.register(interp)
+    stringcmds.register(interp)
+    dictcmds.register(interp)
+    misc.register(interp)

@@ -1,0 +1,173 @@
+"""The ``dict`` ensemble.
+
+Tcl dicts are even-length lists with unique keys; we parse/format on
+each operation, preserving insertion order like real Tcl.
+"""
+
+from __future__ import annotations
+
+from ..errors import TclBreak, TclContinue, TclError
+from ..listutil import format_list, parse_list
+
+
+def _wrong_args(usage: str) -> TclError:
+    return TclError('wrong # args: should be "%s"' % usage)
+
+
+def parse_dict(s: str) -> dict[str, str]:
+    items = parse_list(s)
+    if len(items) % 2:
+        raise TclError("missing value to go with key")
+    d: dict[str, str] = {}
+    for i in range(0, len(items), 2):
+        d[items[i]] = items[i + 1]
+    return d
+
+
+def format_dict(d: dict[str, str]) -> str:
+    flat: list[str] = []
+    for k, v in d.items():
+        flat.append(k)
+        flat.append(v)
+    return format_list(flat)
+
+
+def _get_nested(d: dict[str, str], keys: list[str]) -> str:
+    cur: str | dict = d
+    for k in keys:
+        if isinstance(cur, str):
+            cur = parse_dict(cur)
+        if k not in cur:
+            raise TclError('key "%s" not known in dictionary' % k)
+        cur = cur[k]
+    return cur if isinstance(cur, str) else format_dict(cur)
+
+
+def _set_nested(text: str, keys: list[str], value: str) -> str:
+    d = parse_dict(text)
+    if len(keys) == 1:
+        d[keys[0]] = value
+    else:
+        inner = d.get(keys[0], "")
+        d[keys[0]] = _set_nested(inner, keys[1:], value)
+    return format_dict(d)
+
+
+def cmd_dict(interp, args):
+    if not args:
+        raise _wrong_args("dict subcommand ?arg ...?")
+    sub = args[0]
+    rest = args[1:]
+    if sub == "create":
+        if len(rest) % 2:
+            raise TclError("wrong # args: should be \"dict create ?key value ...?\"")
+        d: dict[str, str] = {}
+        for i in range(0, len(rest), 2):
+            d[rest[i]] = rest[i + 1]
+        return format_dict(d)
+    if sub == "get":
+        if not rest:
+            raise _wrong_args("dict get dictionary ?key ...?")
+        if len(rest) == 1:
+            return rest[0]
+        return _get_nested(parse_dict(rest[0]), list(rest[1:]))
+    if sub == "set":
+        if len(rest) < 3:
+            raise _wrong_args("dict set dictVarName key ?key ...? value")
+        name = rest[0]
+        keys = list(rest[1:-1])
+        value = rest[-1]
+        cur = interp.get_var(name) if interp.var_exists(name) else ""
+        return interp.set_var(name, _set_nested(cur, keys, value))
+    if sub == "unset":
+        if len(rest) < 2:
+            raise _wrong_args("dict unset dictVarName key")
+        name = rest[0]
+        cur = parse_dict(interp.get_var(name) if interp.var_exists(name) else "")
+        cur.pop(rest[1], None)
+        return interp.set_var(name, format_dict(cur))
+    if sub == "exists":
+        if len(rest) < 2:
+            raise _wrong_args("dict exists dictionary key ?key ...?")
+        try:
+            _get_nested(parse_dict(rest[0]), list(rest[1:]))
+            return "1"
+        except TclError:
+            return "0"
+    if sub == "keys":
+        d = parse_dict(rest[0])
+        if len(rest) > 1:
+            import fnmatch
+
+            return format_list(
+                [k for k in d if fnmatch.fnmatchcase(k, rest[1])]
+            )
+        return format_list(list(d.keys()))
+    if sub == "values":
+        return format_list(list(parse_dict(rest[0]).values()))
+    if sub == "size":
+        return str(len(parse_dict(rest[0])))
+    if sub == "merge":
+        d = {}
+        for text in rest:
+            d.update(parse_dict(text))
+        return format_dict(d)
+    if sub == "append":
+        name = rest[0]
+        cur = parse_dict(interp.get_var(name) if interp.var_exists(name) else "")
+        cur[rest[1]] = cur.get(rest[1], "") + "".join(rest[2:])
+        return interp.set_var(name, format_dict(cur))
+    if sub == "lappend":
+        from ..listutil import format_element
+
+        name = rest[0]
+        cur = parse_dict(interp.get_var(name) if interp.var_exists(name) else "")
+        existing = cur.get(rest[1], "")
+        parts = [existing] if existing else []
+        parts.extend(format_element(v) for v in rest[2:])
+        cur[rest[1]] = " ".join(parts)
+        return interp.set_var(name, format_dict(cur))
+    if sub == "incr":
+        name = rest[0]
+        cur = parse_dict(interp.get_var(name) if interp.var_exists(name) else "")
+        delta = int(rest[2]) if len(rest) > 2 else 1
+        cur[rest[1]] = str(int(cur.get(rest[1], "0")) + delta)
+        return interp.set_var(name, format_dict(cur))
+    if sub == "for":
+        if len(rest) != 3:
+            raise _wrong_args("dict for {keyVar valueVar} dictionary body")
+        names = parse_list(rest[0])
+        if len(names) != 2:
+            raise TclError("must have exactly two variable names")
+        d = parse_dict(rest[1])
+        for k, v in d.items():
+            interp.set_var(names[0], k)
+            interp.set_var(names[1], v)
+            try:
+                interp.eval(rest[2])
+            except TclBreak:
+                break
+            except TclContinue:
+                continue
+        return ""
+    if sub == "with":
+        # dict with dictVar body: expose keys as variables, write back after
+        if len(rest) != 2:
+            raise _wrong_args("dict with dictVarName body")
+        name = rest[0]
+        d = parse_dict(interp.get_var(name))
+        for k, v in d.items():
+            interp.set_var(k, v)
+        try:
+            interp.eval(rest[1])
+        finally:
+            for k in d:
+                if interp.var_exists(k):
+                    d[k] = interp.get_var(k)
+            interp.set_var(name, format_dict(d))
+        return ""
+    raise TclError('unknown or unsupported dict subcommand "%s"' % sub)
+
+
+def register(interp) -> None:
+    interp.register("dict", cmd_dict)

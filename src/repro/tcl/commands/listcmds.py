@@ -1,0 +1,254 @@
+"""List commands: list, lindex, llength, lappend, lrange, linsert,
+lreplace, lsearch, lsort, lassign, lreverse, lrepeat, concat, lmap."""
+
+from __future__ import annotations
+
+from ..errors import TclBreak, TclContinue, TclError
+from ..expr import parse_number
+from ..listutil import format_element, format_list, parse_list
+
+
+def _wrong_args(usage: str) -> TclError:
+    return TclError('wrong # args: should be "%s"' % usage)
+
+
+def _index(spec: str, length: int) -> int:
+    """Parse a Tcl index spec: N, end, end-N, N+M, N-M."""
+    s = spec.strip()
+    if s.startswith("end"):
+        rest = s[3:]
+        base = length - 1
+        if not rest:
+            return base
+        if rest[0] in "+-":
+            return base + int(rest)
+        raise TclError('bad index "%s"' % spec)
+    for op in ("+", "-"):
+        # allow arithmetic like 1+1 (but not a leading sign)
+        pos = s.find(op, 1)
+        if pos > 0:
+            try:
+                return int(s[:pos]) + (int(s[pos:]) if op == "-" else int(s[pos + 1 :]))
+            except ValueError:
+                pass
+    try:
+        return int(s)
+    except ValueError:
+        raise TclError('bad index "%s": must be integer or end?[+-]integer?' % spec) from None
+
+
+def cmd_list(interp, args):
+    return format_list(args)
+
+
+def cmd_lindex(interp, args):
+    if not args:
+        raise _wrong_args("lindex list ?index ...?")
+    value = args[0]
+    indices: list[str] = []
+    for a in args[1:]:
+        indices.extend(parse_list(a))
+    for spec in indices:
+        elements = parse_list(value)
+        i = _index(spec, len(elements))
+        if i < 0 or i >= len(elements):
+            return ""
+        value = elements[i]
+    return value
+
+
+def cmd_llength(interp, args):
+    if len(args) != 1:
+        raise _wrong_args("llength list")
+    return str(len(parse_list(args[0])))
+
+
+def cmd_lappend(interp, args):
+    if not args:
+        raise _wrong_args("lappend varName ?value ...?")
+    name = args[0]
+    cur = interp.get_var(name) if interp.var_exists(name) else ""
+    parts = [cur] if cur else []
+    parts.extend(format_element(v) for v in args[1:])
+    return interp.set_var(name, " ".join(parts))
+
+
+def cmd_lrange(interp, args):
+    if len(args) != 3:
+        raise _wrong_args("lrange list first last")
+    elements = parse_list(args[0])
+    first = max(_index(args[1], len(elements)), 0)
+    last = min(_index(args[2], len(elements)), len(elements) - 1)
+    if first > last:
+        return ""
+    return format_list(elements[first : last + 1])
+
+
+def cmd_linsert(interp, args):
+    if len(args) < 2:
+        raise _wrong_args("linsert list index ?element ...?")
+    elements = parse_list(args[0])
+    idx = _index(args[1], len(elements) + 1)
+    idx = max(0, min(idx, len(elements)))
+    new = elements[:idx] + list(args[2:]) + elements[idx:]
+    return format_list(new)
+
+
+def cmd_lreplace(interp, args):
+    if len(args) < 3:
+        raise _wrong_args("lreplace list first last ?element ...?")
+    elements = parse_list(args[0])
+    first = max(_index(args[1], len(elements)), 0)
+    last = _index(args[2], len(elements))
+    if last < first - 1:
+        last = first - 1
+    new = elements[:first] + list(args[3:]) + elements[last + 1 :]
+    return format_list(new)
+
+
+def cmd_lsearch(interp, args):
+    exact = False
+    use_glob = True
+    all_matches = False
+    i = 0
+    while i < len(args) and args[i].startswith("-"):
+        opt = args[i]
+        if opt == "-exact":
+            exact, use_glob = True, False
+        elif opt == "-glob":
+            exact, use_glob = False, True
+        elif opt == "-all":
+            all_matches = True
+        elif opt == "--":
+            i += 1
+            break
+        else:
+            raise TclError('bad option "%s" to lsearch' % opt)
+        i += 1
+    if len(args) - i != 2:
+        raise _wrong_args("lsearch ?options? list pattern")
+    elements = parse_list(args[i])
+    pattern = args[i + 1]
+    import fnmatch
+
+    hits = []
+    for k, el in enumerate(elements):
+        ok = (el == pattern) if exact else fnmatch.fnmatchcase(el, pattern)
+        if ok:
+            if not all_matches:
+                return str(k)
+            hits.append(str(k))
+    if all_matches:
+        return format_list(hits)
+    return "-1"
+
+
+def cmd_lsort(interp, args):
+    numeric = False
+    decreasing = False
+    unique = False
+    i = 0
+    while i < len(args) - 1 and args[i].startswith("-"):
+        opt = args[i]
+        if opt in ("-integer", "-real", "-numeric"):
+            numeric = True
+        elif opt == "-decreasing":
+            decreasing = True
+        elif opt == "-increasing":
+            decreasing = False
+        elif opt == "-unique":
+            unique = True
+        elif opt == "-ascii":
+            numeric = False
+        else:
+            raise TclError('bad option "%s" to lsort' % opt)
+        i += 1
+    if len(args) - i != 1:
+        raise _wrong_args("lsort ?options? list")
+    elements = parse_list(args[i])
+    if numeric:
+        def key(s):
+            v = parse_number(s)
+            if v is None:
+                raise TclError('expected number but got "%s"' % s)
+            return v
+    else:
+        key = str
+    out = sorted(elements, key=key, reverse=decreasing)
+    if unique:
+        dedup = []
+        for el in out:
+            if not dedup or key(dedup[-1]) != key(el):
+                dedup.append(el)
+        out = dedup
+    return format_list(out)
+
+
+def cmd_lassign(interp, args):
+    if not args:
+        raise _wrong_args("lassign list ?varName ...?")
+    elements = parse_list(args[0])
+    names = args[1:]
+    for k, name in enumerate(names):
+        interp.set_var(name, elements[k] if k < len(elements) else "")
+    return format_list(elements[len(names) :])
+
+
+def cmd_lreverse(interp, args):
+    if len(args) != 1:
+        raise _wrong_args("lreverse list")
+    return format_list(list(reversed(parse_list(args[0]))))
+
+
+def cmd_lrepeat(interp, args):
+    if len(args) < 1:
+        raise _wrong_args("lrepeat count ?value ...?")
+    count = int(args[0])
+    if count < 0:
+        raise TclError("bad count %d: must be >= 0" % count)
+    return format_list(list(args[1:]) * count)
+
+
+def cmd_concat(interp, args):
+    parts = [a.strip() for a in args if a.strip()]
+    return " ".join(parts)
+
+
+def cmd_lmap(interp, args):
+    if len(args) != 3:
+        raise _wrong_args("lmap varList list command")
+    var_names = parse_list(args[0])
+    values = parse_list(args[1])
+    body = args[2]
+    out = []
+    step = len(var_names)
+    if step == 0:
+        raise TclError("lmap varlist is empty")
+    for base in range(0, len(values), step):
+        for k, vn in enumerate(var_names):
+            idx = base + k
+            interp.set_var(vn, values[idx] if idx < len(values) else "")
+        try:
+            out.append(interp.eval(body))
+        except TclBreak:
+            break
+        except TclContinue:
+            continue
+    return format_list(out)
+
+
+def register(interp) -> None:
+    interp.register("list", cmd_list)
+    interp.register("lindex", cmd_lindex)
+    interp.register("llength", cmd_llength)
+    interp.register("lappend", cmd_lappend)
+    interp.register("lrange", cmd_lrange)
+    interp.register("linsert", cmd_linsert)
+    interp.register("lreplace", cmd_lreplace)
+    interp.register("lsearch", cmd_lsearch)
+    interp.register("lsort", cmd_lsort)
+    interp.register("lassign", cmd_lassign)
+    interp.register("lreverse", cmd_lreverse)
+    interp.register("lrepeat", cmd_lrepeat)
+    interp.register("concat", cmd_concat)
+    interp.register("lmap", cmd_lmap)

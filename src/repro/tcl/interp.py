@@ -1,0 +1,355 @@
+"""The Tcl interpreter core: frames, namespaces, dispatch, substitution.
+
+Values follow the everything-is-a-string model: command arguments and
+results are Python ``str``.  Opaque host objects (blobs, interpreter
+handles, native pointers) are stored in an object registry and passed
+through Tcl as handle strings, the same trick SWIG uses for pointers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+from typing import Any, Callable
+
+# A Tcl evaluation level costs ~12 Python frames; make room for the
+# interpreter's own MAX_DEPTH guard to fire before CPython's.
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 20_000))
+
+from .errors import TclBreak, TclContinue, TclError, TclReturn
+from .expr import to_string
+from .listutil import format_list, parse_list
+from .parser import Command, TclParseError, Word, parse_cached
+
+CommandFn = Callable[["Interp", list[str]], Any]
+
+
+class Var:
+    """A variable cell, shared between frames by upvar/global links."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str = ""):
+        self.value = value
+
+
+class Namespace:
+    __slots__ = ("name", "vars")
+
+    def __init__(self, name: str):
+        self.name = name  # fully qualified, "" for global
+        self.vars: dict[str, Var] = {}
+
+
+class Frame:
+    __slots__ = ("vars", "ns", "label")
+
+    def __init__(self, ns: Namespace, label: str = "<frame>"):
+        self.vars: dict[str, Var] = {}
+        self.ns = ns
+        self.label = label
+
+
+class TclProc:
+    """A user-defined procedure (``proc``)."""
+
+    __slots__ = ("name", "params", "body", "ns")
+
+    def __init__(
+        self,
+        name: str,
+        params: list[tuple[str, str | None]],
+        body: str,
+        ns: Namespace,
+    ):
+        self.name = name
+        self.params = params  # (name, default|None); last may be "args"
+        self.body = body
+        self.ns = ns
+
+    def __call__(self, interp: "Interp", argv: list[str]) -> str:
+        frame = Frame(self.ns, label=self.name)
+        params = self.params
+        n_named = len(params)
+        has_varargs = bool(params) and params[-1][0] == "args"
+        if has_varargs:
+            n_named -= 1
+        if len(argv) > n_named and not has_varargs:
+            raise TclError(
+                'wrong # args: should be "%s %s"'
+                % (self.name, " ".join(p for p, _ in params))
+            )
+        for i in range(n_named):
+            pname, default = params[i]
+            if i < len(argv):
+                frame.vars[pname] = Var(argv[i])
+            elif default is not None:
+                frame.vars[pname] = Var(default)
+            else:
+                raise TclError(
+                    'wrong # args: should be "%s %s"'
+                    % (self.name, " ".join(p for p, _ in params))
+                )
+        if has_varargs:
+            frame.vars["args"] = Var(format_list(argv[n_named:]))
+        interp.frames.append(frame)
+        saved_ns = interp.current_ns
+        interp.current_ns = self.ns
+        try:
+            return interp.eval(self.body)
+        except TclReturn as r:
+            if r.code == 1:
+                raise TclError(r.value) from None
+            return r.value
+        finally:
+            interp.frames.pop()
+            interp.current_ns = saved_ns
+
+
+class Interp:
+    """A Tcl interpreter instance.
+
+    Each MPI rank in the runtime hosts one of these; rule bodies and
+    worker task fragments are evaluated here.
+    """
+
+    MAX_DEPTH = 900
+
+    def __init__(self, register_core: bool = True):
+        self.global_ns = Namespace("")
+        self.namespaces: dict[str, Namespace] = {"": self.global_ns}
+        self.commands: dict[str, CommandFn] = {}
+        gframe = Frame(self.global_ns, label="<global>")
+        gframe.vars = self.global_ns.vars  # global frame sees global ns vars
+        self.frames: list[Frame] = [gframe]
+        self.current_ns: Namespace = self.global_ns
+        self._depth = 0
+        # Opaque host-object registry (blobs, pointers, interpreters).
+        self._objects: dict[str, Any] = {}
+        self._obj_seq = itertools.count(1)
+        # Provided / loadable packages: name -> (version, loader)
+        self.package_loaders: dict[str, tuple[str, Callable[["Interp"], None]]] = {}
+        self.packages_provided: dict[str, str] = {}
+        # Output sink for puts (tests capture this).
+        self.stdout: list[str] = []
+        self.echo = True  # also print to real stdout
+        if register_core:
+            from .commands import register_all
+
+            register_all(self)
+
+    # -- object registry --------------------------------------------------
+
+    def wrap_object(self, obj: Any, prefix: str = "obj") -> str:
+        handle = "_%s#%d" % (prefix, next(self._obj_seq))
+        self._objects[handle] = obj
+        return handle
+
+    def unwrap(self, handle: str) -> Any:
+        try:
+            return self._objects[handle]
+        except KeyError:
+            raise TclError("invalid object handle %r" % handle) from None
+
+    def has_object(self, handle: str) -> bool:
+        return handle in self._objects
+
+    def release_object(self, handle: str) -> None:
+        self._objects.pop(handle, None)
+
+    # -- variables ---------------------------------------------------------
+
+    def _resolve_ns(self, qualified: str) -> tuple[Namespace, str]:
+        """Split a qualified variable name into (namespace, tail)."""
+        name = qualified.lstrip(":")
+        if "::" in name:
+            ns_name, tail = name.rsplit("::", 1)
+            ns = self.namespaces.get(ns_name)
+            if ns is None:
+                raise TclError(
+                    'namespace "%s" does not exist (variable "%s")'
+                    % (ns_name, qualified)
+                )
+            return ns, tail
+        return self.global_ns, name
+
+    def _var_cell(self, name: str, create: bool) -> Var | None:
+        if "::" in name:
+            ns, tail = self._resolve_ns(name)
+            cell = ns.vars.get(tail)
+            if cell is None and create:
+                cell = Var()
+                ns.vars[tail] = cell
+            return cell
+        frame = self.frames[-1]
+        cell = frame.vars.get(name)
+        if cell is None and create:
+            cell = Var()
+            frame.vars[name] = cell
+        return cell
+
+    def get_var(self, name: str) -> str:
+        cell = self._var_cell(name, create=False)
+        if cell is None:
+            raise TclError('can\'t read "%s": no such variable' % name)
+        return cell.value
+
+    def set_var(self, name: str, value: Any) -> str:
+        sval = value if isinstance(value, str) else to_string(value)
+        cell = self._var_cell(name, create=True)
+        assert cell is not None
+        cell.value = sval
+        return sval
+
+    def unset_var(self, name: str) -> None:
+        if "::" in name:
+            ns, tail = self._resolve_ns(name)
+            if tail not in ns.vars:
+                raise TclError('can\'t unset "%s": no such variable' % name)
+            del ns.vars[tail]
+            return
+        frame = self.frames[-1]
+        if name not in frame.vars:
+            raise TclError('can\'t unset "%s": no such variable' % name)
+        del frame.vars[name]
+
+    def var_exists(self, name: str) -> bool:
+        return self._var_cell(name, create=False) is not None
+
+    def link_var(self, local_name: str, target_frame: Frame, target_name: str) -> None:
+        """Implement upvar/global: alias local_name to a cell elsewhere."""
+        cell = target_frame.vars.get(target_name)
+        if cell is None:
+            cell = Var()
+            target_frame.vars[target_name] = cell
+        self.frames[-1].vars[local_name] = cell
+
+    def link_ns_var(self, local_name: str, ns: Namespace, target_name: str) -> None:
+        cell = ns.vars.get(target_name)
+        if cell is None:
+            cell = Var()
+            ns.vars[target_name] = cell
+        self.frames[-1].vars[local_name] = cell
+
+    # -- namespaces ---------------------------------------------------------
+
+    def namespace(self, name: str, create: bool = False) -> Namespace:
+        key = name.lstrip(":")
+        ns = self.namespaces.get(key)
+        if ns is None:
+            if not create:
+                raise TclError('unknown namespace "%s"' % name)
+            ns = Namespace(key)
+            self.namespaces[key] = ns
+        return ns
+
+    # -- commands ------------------------------------------------------------
+
+    def register(self, name: str, fn: CommandFn) -> None:
+        self.commands[name.lstrip(":")] = fn
+
+    def unregister(self, name: str) -> None:
+        self.commands.pop(name.lstrip(":"), None)
+
+    def qualify(self, name: str) -> str:
+        """Fully qualify a command name relative to the current namespace."""
+        if name.startswith("::"):
+            return name.lstrip(":")
+        if self.current_ns.name and not name.startswith("::"):
+            cand = self.current_ns.name + "::" + name
+            if cand in self.commands:
+                return cand
+        return name
+
+    def lookup_command(self, name: str) -> CommandFn | None:
+        return self.commands.get(self.qualify(name))
+
+    # -- evaluation -----------------------------------------------------------
+
+    def eval(self, script: str) -> str:
+        """Evaluate a script; returns the result of its last command."""
+        if self._depth >= self.MAX_DEPTH:
+            raise TclError("too many nested evaluations (infinite loop?)")
+        self._depth += 1
+        try:
+            try:
+                cmds = parse_cached(script)
+            except TclParseError as e:
+                raise TclError(str(e)) from None
+            result = ""
+            for cmd in cmds:
+                result = self._run_command(cmd)
+            return result
+        finally:
+            self._depth -= 1
+
+    def _subst_word(self, word: Word) -> str:
+        if word.literal is not None:
+            return word.literal
+        parts: list[str] = []
+        for kind, text in word.segments:
+            if kind == "lit":
+                parts.append(text)
+            elif kind == "var":
+                parts.append(self.get_var(text))
+            else:  # cmd
+                parts.append(self.eval(text))
+        return "".join(parts)
+
+    def _run_command(self, cmd: Command) -> str:
+        argv: list[str] = []
+        for word in cmd.words:
+            val = self._subst_word(word)
+            if word.expand:
+                argv.extend(parse_list(val))
+            else:
+                argv.append(val)
+        if not argv:
+            return ""
+        name = argv[0]
+        fn = self.lookup_command(name)
+        if fn is None:
+            fn = self.commands.get("unknown")
+            if fn is None:
+                raise TclError('invalid command name "%s"' % name)
+            argv = ["unknown"] + argv
+        try:
+            result = fn(self, argv[1:])
+        except (TclReturn, TclBreak, TclContinue):
+            raise
+        except TclError as e:
+            e.add_info('"%s" (line %d)' % (_abbrev(argv), cmd.line))
+            raise
+        except RecursionError:
+            raise
+        except Exception as e:  # host (Python) error surfaces as Tcl error
+            err = TclError("%s: %s" % (type(e).__name__, e))
+            err.add_info('"%s" (line %d)' % (_abbrev(argv), cmd.line))
+            err.__cause__ = e
+            raise err from e
+        if result is None:
+            return ""
+        return result if isinstance(result, str) else to_string(result)
+
+    # -- host conveniences ------------------------------------------------------
+
+    def call(self, name: str, *args: Any) -> str:
+        """Call a Tcl command from Python with automatic stringification."""
+        fn = self.lookup_command(name)
+        if fn is None:
+            raise TclError('invalid command name "%s"' % name)
+        argv = [a if isinstance(a, str) else to_string(a) for a in args]
+        result = fn(self, argv)
+        if result is None:
+            return ""
+        return result if isinstance(result, str) else to_string(result)
+
+    def puts(self, line: str) -> None:
+        self.stdout.append(line)
+        if self.echo:
+            print(line)
+
+
+def _abbrev(argv: list[str]) -> str:
+    s = " ".join(argv)
+    return s if len(s) <= 60 else s[:57] + "..."

@@ -1,0 +1,31 @@
+"""Turbine: the distributed-memory dataflow engine (Wozniak et al.).
+
+Engines evaluate STC-generated Tcl, registering dataflow rules against
+Turbine data (TDs) in the ADLB store; workers execute leaf tasks
+shipped through ADLB as Tcl code fragments.
+"""
+
+from .engine import Engine, EngineStats, Rule
+from .runtime import (
+    Output,
+    RankContext,
+    RunResult,
+    RuntimeConfig,
+    run_turbine_program,
+)
+from .tcllib import TURBINE_TCL
+from .worker import Worker, WorkerStats
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "Rule",
+    "Worker",
+    "WorkerStats",
+    "RuntimeConfig",
+    "RunResult",
+    "RankContext",
+    "Output",
+    "run_turbine_program",
+    "TURBINE_TCL",
+]

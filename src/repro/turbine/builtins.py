@@ -1,0 +1,332 @@
+"""Primitive Turbine commands, registered into each rank's Tcl interp.
+
+Real Turbine implements these in C and exposes them to Tcl; here they
+are Python functions bound to the rank's :class:`AdlbClient` (and, on
+engine ranks, the rule engine).  The derived procs in
+:mod:`repro.turbine.tcllib` build on them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..adlb.client import AdlbClient
+from ..adlb.constants import (
+    T_BLOB,
+    T_BOOLEAN,
+    T_CONTAINER,
+    T_FLOAT,
+    T_INTEGER,
+    T_REF,
+    T_STRING,
+    T_VOID,
+)
+from ..tcl.errors import TclError
+from ..tcl.expr import to_string
+from ..tcl.interp import Interp
+from ..tcl.listutil import format_list, parse_list
+
+_TYPES = {
+    T_INTEGER,
+    T_FLOAT,
+    T_STRING,
+    T_BLOB,
+    T_BOOLEAN,
+    T_VOID,
+    T_REF,
+    T_CONTAINER,
+}
+
+
+def _to_int(s: str) -> int:
+    try:
+        return int(s)
+    except ValueError:
+        try:
+            return int(float(s))
+        except ValueError:
+            raise TclError("expected integer, got %r" % s) from None
+
+
+def _to_float(s: str) -> float:
+    try:
+        return float(s)
+    except ValueError:
+        raise TclError("expected float, got %r" % s) from None
+
+
+def _to_bool(s: str) -> int:
+    t = s.strip().lower()
+    if t in ("1", "true", "yes", "on"):
+        return 1
+    if t in ("0", "false", "no", "off", ""):
+        return 0
+    try:
+        return 1 if float(t) != 0 else 0
+    except ValueError:
+        raise TclError("expected boolean, got %r" % s) from None
+
+
+def register_turbine(
+    interp: Interp,
+    client: AdlbClient,
+    runtime,
+    engine=None,
+) -> None:
+    """Register primitive turbine:: commands.
+
+    ``runtime`` is the per-rank RankContext (output sink, config).
+    ``engine`` is the rule engine on engine ranks, None on workers.
+    """
+
+    def reg(name: str, fn) -> None:
+        interp.register("turbine::" + name, fn)
+
+    # ---- rules and tasks --------------------------------------------------
+
+    def cmd_rule(it, args):
+        if engine is None:
+            raise TclError("turbine::rule is only available on engine ranks")
+        if len(args) < 2:
+            raise TclError("usage: turbine::rule inputs action ?type? ?opts?")
+        inputs = [int(x) for x in parse_list(args[0])]
+        action = args[1]
+        rtype = args[2] if len(args) > 2 else "LOCAL"
+        opts = {"target": -1, "priority": 0, "name": ""}
+        rest = args[3:]
+        for i in range(0, len(rest) - 1, 2):
+            key = rest[i].lstrip("-")
+            if key in ("target", "priority"):
+                opts[key] = int(rest[i + 1])
+            elif key == "name":
+                opts[key] = rest[i + 1]
+            else:
+                raise TclError("bad rule option %r" % rest[i])
+        engine.add_rule(
+            inputs,
+            action,
+            rtype,
+            target=opts["target"],
+            priority=opts["priority"],
+            name=opts["name"],
+        )
+        return ""
+
+    def cmd_spawn(it, args):
+        # spawn type action ?priority? ?target?
+        if len(args) < 2:
+            raise TclError("usage: turbine::spawn type action ?priority? ?target?")
+        ttype = args[0]
+        action = args[1]
+        priority = int(args[2]) if len(args) > 2 else 0
+        target = int(args[3]) if len(args) > 3 else -1
+        client.incr_work()
+        client.put(action, type=ttype, priority=priority, target=target)
+        return ""
+
+    reg("rule", cmd_rule)
+    reg("spawn", cmd_spawn)
+
+    # ---- allocation ----------------------------------------------------------
+
+    def cmd_allocate(it, args):
+        if not args:
+            raise TclError("usage: turbine::allocate type ?write_refcount?")
+        dtype = args[0]
+        if dtype not in _TYPES:
+            raise TclError("unknown TD type %r" % dtype)
+        wrc = int(args[1]) if len(args) > 1 else 1
+        return str(client.create(dtype, write_refcount=wrc))
+
+    def cmd_allocate_container(it, args):
+        wrc = int(args[0]) if args else 1
+        return str(client.create(T_CONTAINER, write_refcount=wrc))
+
+    reg("allocate", cmd_allocate)
+    reg("allocate_container", cmd_allocate_container)
+
+    # ---- stores -------------------------------------------------------------
+
+    def _store(td: str, value: Any, decr: str | None) -> str:
+        client.store(int(td), value, decr_write=int(decr) if decr else 1)
+        return ""
+
+    def _mk_store(conv):
+        def cmd(it, args):
+            if len(args) not in (2, 3):
+                raise TclError("usage: turbine::store_* id value ?decr?")
+            return _store(args[0], conv(args[1]), args[2] if len(args) > 2 else None)
+
+        return cmd
+
+    reg("store_integer", _mk_store(_to_int))
+    reg("store_float", _mk_store(_to_float))
+    reg("store_string", _mk_store(str))
+    reg("store_boolean", _mk_store(_to_bool))
+    reg("store_ref", _mk_store(_to_int))
+
+    def cmd_store_void(it, args):
+        if len(args) not in (1, 2):
+            raise TclError("usage: turbine::store_void id ?decr?")
+        return _store(args[0], "", args[1] if len(args) > 1 else None)
+
+    reg("store_void", cmd_store_void)
+
+    def cmd_store_blob(it, args):
+        if len(args) not in (2, 3):
+            raise TclError("usage: turbine::store_blob id handle ?decr?")
+        obj = it.unwrap(args[1])
+        if hasattr(obj, "to_bytes"):  # Blob
+            data = obj.to_bytes()
+        elif isinstance(obj, (bytes, bytearray)):
+            data = bytes(obj)
+        else:
+            raise TclError("store_blob: %r is not blob-like" % args[1])
+        return _store(args[0], data, args[2] if len(args) > 2 else None)
+
+    reg("store_blob", cmd_store_blob)
+
+    def cmd_store_any(it, args):
+        # store with a value already in Tcl string form (type-agnostic)
+        if len(args) not in (2, 3):
+            raise TclError("usage: turbine::store_any id value ?decr?")
+        dtype = client.typeof(int(args[0]))
+        conv = {
+            T_INTEGER: _to_int,
+            T_FLOAT: _to_float,
+            T_BOOLEAN: _to_bool,
+            T_REF: _to_int,
+            T_VOID: lambda s: "",
+        }.get(dtype, str)
+        if dtype == T_BLOB:
+            return cmd_store_blob(it, args)
+        return _store(args[0], conv(args[1]), args[2] if len(args) > 2 else None)
+
+    reg("store_any", cmd_store_any)
+
+    def cmd_copy_value(it, args):
+        # copy the raw stored value (preserves blobs exactly)
+        if len(args) != 2:
+            raise TclError("usage: turbine::copy_value dst src")
+        value = client.retrieve(int(args[1]))
+        client.store(int(args[0]), value)
+        return ""
+
+    reg("copy_value", cmd_copy_value)
+
+    # ---- retrieves -----------------------------------------------------------
+
+    def _value_to_tcl(it, value: Any) -> str:
+        if isinstance(value, (bytes, bytearray)):
+            from ..blob import Blob
+
+            return it.wrap_object(Blob.from_bytes(bytes(value)), "blob")
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if value is None:
+            return ""
+        return to_string(value)
+
+    def cmd_retrieve(it, args):
+        if len(args) not in (1, 2):
+            raise TclError("usage: turbine::retrieve id ?subscript?")
+        value = client.retrieve(int(args[0]), subscript=args[1] if len(args) > 1 else None)
+        return _value_to_tcl(it, value)
+
+    reg("retrieve", cmd_retrieve)
+    reg("retrieve_integer", cmd_retrieve)
+    reg("retrieve_float", cmd_retrieve)
+    reg("retrieve_string", cmd_retrieve)
+    reg("retrieve_blob", cmd_retrieve)
+
+    def cmd_exists(it, args):
+        if len(args) not in (1, 2):
+            raise TclError("usage: turbine::exists id ?subscript?")
+        ok = client.exists(int(args[0]), subscript=args[1] if len(args) > 1 else None)
+        return "1" if ok else "0"
+
+    reg("exists", cmd_exists)
+
+    def cmd_typeof(it, args):
+        return client.typeof(int(args[0]))
+
+    reg("typeof", cmd_typeof)
+
+    # ---- containers -------------------------------------------------------------
+
+    def cmd_container_insert(it, args):
+        if len(args) not in (3, 4):
+            raise TclError(
+                "usage: turbine::container_insert c subscript member ?decr?"
+            )
+        decr = int(args[3]) if len(args) > 3 else 1
+        client.store(int(args[0]), int(args[1 + 1]), subscript=args[1], decr_write=decr)
+        return ""
+
+    reg("container_insert", cmd_container_insert)
+
+    def cmd_container_lookup(it, args):
+        if len(args) != 2:
+            raise TclError("usage: turbine::container_lookup c subscript")
+        return to_string(client.retrieve(int(args[0]), subscript=args[1]))
+
+    reg("container_lookup", cmd_container_lookup)
+
+    def cmd_container_reference(it, args):
+        if len(args) != 3:
+            raise TclError("usage: turbine::container_reference c subscript ref")
+        client.container_reference(int(args[0]), args[1], int(args[2]))
+        return ""
+
+    reg("container_reference", cmd_container_reference)
+
+    def cmd_enumerate(it, args):
+        if len(args) != 1:
+            raise TclError("usage: turbine::enumerate c")
+        return format_list(client.enumerate(int(args[0])))
+
+    reg("enumerate", cmd_enumerate)
+
+    # ---- refcounts ----------------------------------------------------------------
+
+    def cmd_wrc_incr(it, args):
+        n = int(args[1]) if len(args) > 1 else 1
+        if n:
+            client.refcount(int(args[0]), write_delta=n)
+        return ""
+
+    def cmd_wrc_decr(it, args):
+        n = int(args[1]) if len(args) > 1 else 1
+        if n:
+            client.refcount(int(args[0]), write_delta=-n)
+        return ""
+
+    def cmd_rrc_decr(it, args):
+        n = int(args[1]) if len(args) > 1 else 1
+        if n:
+            client.refcount(int(args[0]), read_delta=-n)
+        return ""
+
+    reg("write_refcount_incr", cmd_wrc_incr)
+    reg("write_refcount_decr", cmd_wrc_decr)
+    reg("read_refcount_decr", cmd_rrc_decr)
+
+    # ---- environment ---------------------------------------------------------------
+
+    reg("rank", lambda it, args: str(client.rank))
+    reg("role", lambda it, args: runtime.role)
+    reg("nworkers", lambda it, args: str(runtime.layout.n_workers))
+    reg("nengines", lambda it, args: str(runtime.layout.n_engines))
+    reg("nservers", lambda it, args: str(runtime.layout.n_servers))
+
+    def cmd_log_output(it, args):
+        runtime.output.emit(client.rank, " ".join(args))
+        return ""
+
+    def cmd_log(it, args):
+        runtime.output.log(client.rank, " ".join(args))
+        return ""
+
+    reg("log_output", cmd_log_output)
+    reg("log", cmd_log)
+    reg("noop", lambda it, args: "")

@@ -1,0 +1,156 @@
+"""The Turbine rule engine.
+
+An engine rank evaluates the STC-generated Tcl program.  ``rule``
+statements register data dependencies on TDs; when all inputs of a rule
+are closed, the rule *fires*: LOCAL actions execute in the engine's Tcl
+interpreter, WORK/CONTROL actions are shipped through ADLB to workers
+or other engines.  Close notifications arrive from the data servers on
+the async channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..adlb.client import AdlbClient
+from ..adlb.constants import CONTROL
+from ..tcl.errors import TclError
+
+
+@dataclass
+class Rule:
+    id: int
+    action: str
+    type: str  # LOCAL | WORK | CONTROL
+    target: int
+    priority: int
+    name: str
+    remaining: int = 0
+
+
+@dataclass
+class EngineStats:
+    rules_created: int = 0
+    rules_fired_local: int = 0
+    tasks_released: int = 0
+    notifications: int = 0
+    control_tasks_run: int = 0
+
+
+class Engine:
+    """Dataflow rule bookkeeping + main event loop for one engine rank."""
+
+    def __init__(self, client: AdlbClient, interp):
+        self.client = client
+        self.interp = interp
+        self._seq = itertools.count(1)
+        self.ready: deque[Rule] = deque()
+        # td id -> rules blocked on it
+        self.blocked: dict[int, list[Rule]] = {}
+        # TDs known closed (subscription already answered)
+        self.closed: set[int] = set()
+        # TDs with an outstanding subscription
+        self.subscribed: set[int] = set()
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------ rules
+
+    def add_rule(
+        self,
+        inputs: list[int],
+        action: str,
+        rtype: str = "LOCAL",
+        target: int = -1,
+        priority: int = 0,
+        name: str = "",
+    ) -> None:
+        if rtype not in ("LOCAL", "WORK", "CONTROL"):
+            raise TclError("bad rule type %r" % rtype)
+        self.client.incr_work()
+        rule = Rule(
+            id=next(self._seq),
+            action=action,
+            type=rtype,
+            target=target,
+            priority=priority,
+            name=name,
+        )
+        self.stats.rules_created += 1
+        for td in set(inputs):
+            if td in self.closed:
+                continue
+            if td in self.subscribed:
+                self.blocked.setdefault(td, []).append(rule)
+                rule.remaining += 1
+                continue
+            if self.client.subscribe(td):
+                self.closed.add(td)
+                continue
+            self.subscribed.add(td)
+            self.blocked.setdefault(td, []).append(rule)
+            rule.remaining += 1
+        if rule.remaining == 0:
+            self.ready.append(rule)
+
+    def on_close(self, td: int) -> None:
+        self.stats.notifications += 1
+        self.closed.add(td)
+        self.subscribed.discard(td)
+        for rule in self.blocked.pop(td, []):
+            rule.remaining -= 1
+            if rule.remaining == 0:
+                self.ready.append(rule)
+
+    def drain(self) -> None:
+        """Fire every ready rule (firing may enqueue more)."""
+        while self.ready:
+            rule = self.ready.popleft()
+            if rule.type == "LOCAL":
+                self.stats.rules_fired_local += 1
+                self.interp.eval(rule.action)
+                self.client.decr_work()  # the rule's accounting unit
+            else:
+                # The rule's accounting unit transfers to the task; the
+                # executing rank decrements after running it.
+                self.stats.tasks_released += 1
+                self.client.put(
+                    rule.action,
+                    type=rule.type,
+                    priority=rule.priority,
+                    target=rule.target,
+                )
+
+    # ------------------------------------------------------------------ loop
+
+    def serve(self, initial_script: str | None = None) -> EngineStats:
+        """Run the engine event loop until shutdown.
+
+        ``initial_script`` is the program entry point (only the first
+        engine rank receives one); other engines only execute CONTROL
+        tasks shipped to them.
+        """
+        self.client.park_async((CONTROL,))
+        if initial_script is not None:
+            self.client.incr_work()
+            self.interp.eval(initial_script)
+            self.drain()
+            self.client.decr_work()
+        while True:
+            self.drain()
+            msg = self.client.recv_async()
+            kind = msg[0]
+            if kind == "notify":
+                self.on_close(msg[1])
+            elif kind == "ctask":
+                self.stats.control_tasks_run += 1
+                self.interp.eval(msg[2])
+                self.drain()
+                self.client.park_async((CONTROL,))
+                self.client.decr_work()
+            elif kind == "shutdown":
+                break
+            else:
+                raise RuntimeError("engine: unexpected async message %r" % (msg,))
+        return self.stats

@@ -1,0 +1,199 @@
+"""The Swift/T runtime: wire MPI ranks into servers, engines, workers.
+
+:func:`run_turbine_program` is the execution entry point used by the
+public API: it launches a thread-backed MPI world, assigns roles per
+the paper's Fig. 2 layout, loads the generated Tcl program on every
+non-server rank (real Turbine does the same — this is what makes
+worker-side procs resolvable), runs ``main`` on the first engine, and
+collects output and statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..adlb.client import AdlbClient
+from ..adlb.layout import Layout
+from ..adlb.server import Server, ServerStats
+from ..mpi import Comm, run_world
+from ..tcl.interp import Interp
+from .builtins import register_turbine
+from .engine import Engine, EngineStats
+from .tcllib import TURBINE_TCL
+from .worker import Worker, WorkerStats
+
+
+@dataclass
+class RuntimeConfig:
+    """Process layout and runtime options (Fig. 2 of the paper)."""
+
+    size: int = 4
+    n_servers: int = 1
+    n_engines: int = 1
+    steal: bool = True
+    trace: bool = False
+    echo: bool = False  # also print program output to real stdout
+    record_spans: bool = False  # per-task timing on workers (benchmarks)
+    recv_timeout: float = 120.0
+    # Interpreter state policy for embedded Python/R interpreters
+    # (paper §III-C): "retain" keeps state across tasks, "reinit"
+    # reinitializes per task.
+    interp_mode: str = "retain"
+    # Program arguments, readable from Swift via argv("name")
+    args: dict = field(default_factory=dict)
+
+    def layout(self) -> Layout:
+        return Layout(self.size, self.n_servers, self.n_engines)
+
+
+class Output:
+    """Thread-safe collector of program output across ranks."""
+
+    def __init__(self, echo: bool = False, trace: bool = False):
+        self._lock = threading.Lock()
+        self.lines: list[tuple[int, str]] = []
+        self.logs: list[tuple[int, str]] = []
+        self.echo = echo
+        self.trace = trace
+
+    def emit(self, rank: int, line: str) -> None:
+        with self._lock:
+            self.lines.append((rank, line))
+        if self.echo:
+            print(line)
+
+    def log(self, rank: int, line: str) -> None:
+        if self.trace:
+            with self._lock:
+                self.logs.append((rank, line))
+
+    def text(self) -> str:
+        return "\n".join(line for _, line in self.lines)
+
+
+@dataclass
+class RankContext:
+    """Per-rank state handed to builtin commands."""
+
+    layout: Layout
+    role: str
+    output: Output
+    config: RuntimeConfig
+
+
+@dataclass
+class RunResult:
+    output: Output
+    elapsed: float
+    server_stats: list[ServerStats] = field(default_factory=list)
+    engine_stats: list[EngineStats] = field(default_factory=list)
+    worker_stats: list[WorkerStats] = field(default_factory=list)
+
+    @property
+    def stdout(self) -> str:
+        return self.output.text()
+
+    @property
+    def stdout_lines(self) -> list[str]:
+        return [line for _, line in self.output.lines]
+
+    @property
+    def tasks_run(self) -> int:
+        return sum(w.tasks_run for w in self.worker_stats)
+
+
+SetupFn = Callable[[Interp, RankContext, AdlbClient], None]
+
+
+def make_client_interp(
+    comm: Comm,
+    layout: Layout,
+    ctx: RankContext,
+    engine: Engine | None,
+    setup: SetupFn | None,
+) -> tuple[Interp, AdlbClient]:
+    """Build the Tcl interpreter for an engine or worker rank."""
+    client = AdlbClient(comm, layout)
+    interp = Interp()
+    interp.echo = False
+    if engine is not None:
+        engine.client = client
+        engine.interp = interp
+    register_turbine(interp, client, ctx, engine=engine)
+    interp.eval(TURBINE_TCL)
+    if ctx.config.args:
+        from ..tcl.listutil import format_list
+
+        flat: list[str] = []
+        for key, value in ctx.config.args.items():
+            flat.append(str(key))
+            flat.append(str(value))
+        interp.set_var("::swift_argv", format_list(flat))
+    # Standard leaf-language packages (paper §III): embedded Python and
+    # R interpreters, the shell interface, and blob utilities.
+    from ..interlang import register_standard_packages
+
+    register_standard_packages(interp, ctx)
+    if setup is not None:
+        setup(interp, ctx, client)
+    return interp, client
+
+
+def run_turbine_program(
+    program: str,
+    config: RuntimeConfig | None = None,
+    setup: SetupFn | None = None,
+    entry: str = "swift:main",
+) -> RunResult:
+    """Execute a Turbine Tcl program on a fresh thread-backed world.
+
+    ``program`` is loaded on every engine and worker rank; ``entry`` is
+    invoked on the first engine rank only.
+    """
+    config = config or RuntimeConfig()
+    layout = config.layout()
+    output = Output(echo=config.echo, trace=config.trace)
+    server_stats: list[ServerStats] = []
+    engine_stats: list[EngineStats] = []
+    worker_stats: list[WorkerStats] = []
+    stats_lock = threading.Lock()
+
+    def main(comm: Comm) -> None:
+        rank = comm.rank
+        role = layout.role(rank)
+        ctx = RankContext(layout=layout, role=role, output=output, config=config)
+        if role == "server":
+            stats = Server(comm, layout, steal=config.steal).run()
+            with stats_lock:
+                server_stats.append(stats)
+            return
+        if role == "engine":
+            engine = Engine(None, None)  # client/interp bound below
+            interp, client = make_client_interp(comm, layout, ctx, engine, setup)
+            interp.eval(program)
+            initial = entry if rank == layout.engines[0] else None
+            stats = engine.serve(initial_script=initial)
+            with stats_lock:
+                engine_stats.append(stats)
+            return
+        # worker
+        interp, client = make_client_interp(comm, layout, ctx, None, setup)
+        interp.eval(program)
+        worker = Worker(client, interp, record_spans=config.record_spans)
+        stats = worker.serve()
+        with stats_lock:
+            worker_stats.append(stats)
+
+    t0 = time.perf_counter()
+    run_world(config.size, main, recv_timeout=config.recv_timeout)
+    elapsed = time.perf_counter() - t0
+    return RunResult(
+        output=output,
+        elapsed=elapsed,
+        server_stats=server_stats,
+        engine_stats=engine_stats,
+        worker_stats=worker_stats,
+    )

@@ -1,0 +1,376 @@
+'''The Turbine runtime library, written in Tcl.
+
+Real Turbine ships a set of ``.tcl`` library files that the generated
+program loads; the C core provides the primitive commands (rule, store,
+retrieve, ...) and the library builds Swift's builtins on top.  This is
+our equivalent: the primitive commands are registered from Python by
+:mod:`repro.turbine.builtins`, and this prelude defines the derived
+procs that STC-generated code calls.
+'''
+
+TURBINE_TCL = r'''
+namespace eval turbine {}
+
+# ---- dereferencing -------------------------------------------------------
+# copy_td: once src is closed, copy its value into dst.
+proc turbine::copy_td { dst src } {
+    turbine::rule [ list $src ] \
+        [ list turbine::copy_td_body $dst $src ] LOCAL
+}
+proc turbine::copy_td_body { dst src } {
+    turbine::copy_value $dst $src
+}
+
+# deref_store: r holds a *reference* (a TD id).  Once r is closed, wait
+# for the referenced TD, then copy its value into dst.
+proc turbine::deref_store { dst r } {
+    turbine::rule [ list $r ] \
+        [ list turbine::deref_store_body $dst $r ] LOCAL
+}
+proc turbine::deref_store_body { dst r } {
+    set m [ turbine::retrieve $r ]
+    turbine::copy_td $dst $m
+}
+
+# ---- arithmetic builtins (engine-local leaf ops) ---------------------------
+proc turbine::binop_integer { oper o a b } {
+    turbine::rule [ list $a $b ] \
+        [ list turbine::binop_integer_body $oper $o $a $b ] LOCAL
+}
+proc turbine::binop_integer_body { oper o a b } {
+    set x [ turbine::retrieve $a ]
+    set y [ turbine::retrieve $b ]
+    turbine::store_integer $o [ expr "\$x $oper \$y" ]
+}
+proc turbine::binop_float { oper o a b } {
+    turbine::rule [ list $a $b ] \
+        [ list turbine::binop_float_body $oper $o $a $b ] LOCAL
+}
+proc turbine::binop_float_body { oper o a b } {
+    set x [ turbine::retrieve $a ]
+    set y [ turbine::retrieve $b ]
+    turbine::store_float $o [ expr "double(\$x) $oper double(\$y)" ]
+}
+proc turbine::binop_compare { oper o a b } {
+    turbine::rule [ list $a $b ] \
+        [ list turbine::binop_compare_body $oper $o $a $b ] LOCAL
+}
+proc turbine::binop_compare_body { oper o a b } {
+    set x [ turbine::retrieve $a ]
+    set y [ turbine::retrieve $b ]
+    turbine::store_boolean $o [ expr "{$x} $oper {$y}" ]
+}
+proc turbine::binop_logic { oper o a b } {
+    turbine::rule [ list $a $b ] \
+        [ list turbine::binop_logic_body $oper $o $a $b ] LOCAL
+}
+proc turbine::binop_logic_body { oper o a b } {
+    set x [ turbine::retrieve $a ]
+    set y [ turbine::retrieve $b ]
+    turbine::store_boolean $o [ expr "\$x $oper \$y" ]
+}
+proc turbine::unop { kind o a } {
+    turbine::rule [ list $a ] [ list turbine::unop_body $kind $o $a ] LOCAL
+}
+proc turbine::unop_body { kind o a } {
+    set x [ turbine::retrieve $a ]
+    switch $kind {
+        neg_integer { turbine::store_integer $o [ expr {- $x} ] }
+        neg_float   { turbine::store_float   $o [ expr {- double($x)} ] }
+        not         { turbine::store_boolean $o [ expr {! $x} ] }
+        int2float   { turbine::store_float   $o [ expr {double($x)} ] }
+        float2int   { turbine::store_integer $o [ expr {int($x)} ] }
+        default     { error "unop: unknown kind $kind" }
+    }
+}
+
+# string concatenation of N closed inputs
+proc turbine::strcat_rule { o args } {
+    turbine::rule $args [ concat turbine::strcat_body $o $args ] LOCAL
+}
+proc turbine::strcat_body { o args } {
+    set s ""
+    foreach td $args { append s [ turbine::retrieve $td ] }
+    turbine::store_string $o $s
+}
+
+# ---- output builtins --------------------------------------------------------
+proc turbine::printf_rule { fmt args } {
+    if { [ llength $args ] == 0 } {
+        turbine::log_output [ format $fmt ]
+        return
+    }
+    turbine::rule $args [ concat turbine::printf_body [ list $fmt ] $args ] LOCAL
+}
+proc turbine::printf_body { fmt args } {
+    set vals [ list ]
+    foreach td $args { lappend vals [ turbine::retrieve $td ] }
+    turbine::log_output [ format $fmt {*}$vals ]
+}
+proc turbine::trace_rule { args } {
+    if { [ llength $args ] == 0 } { turbine::log_output "trace:" ; return }
+    turbine::rule $args [ concat turbine::trace_body $args ] LOCAL
+}
+proc turbine::trace_body { args } {
+    set vals [ list ]
+    foreach td $args { lappend vals [ turbine::retrieve $td ] }
+    turbine::log_output "trace: [ join $vals , ]"
+}
+proc turbine::assert_rule { cond msg } {
+    turbine::rule [ list $cond $msg ] \
+        [ list turbine::assert_body $cond $msg ] LOCAL
+}
+proc turbine::assert_body { cond msg } {
+    if { ! [ turbine::retrieve $cond ] } {
+        error "Swift assertion failed: [ turbine::retrieve $msg ]"
+    }
+}
+
+# ---- container helpers -------------------------------------------------------
+# size(a): store the number of members once the container closes.
+proc turbine::container_size_rule { o c } {
+    turbine::rule [ list $c ] \
+        [ list turbine::container_size_body $o $c ] LOCAL
+}
+proc turbine::container_size_body { o c } {
+    turbine::store_integer $o [ llength [ turbine::enumerate $c ] ]
+}
+
+# reduce(a): once the container closes, wait on all member TDs, then fold.
+proc turbine::container_reduce_rule { kind o c } {
+    turbine::rule [ list $c ] \
+        [ list turbine::container_reduce_members $kind $o $c ] LOCAL
+}
+proc turbine::container_reduce_members { kind o c } {
+    set members [ list ]
+    foreach sub [ turbine::enumerate $c ] {
+        lappend members [ turbine::container_lookup $c $sub ]
+    }
+    if { [ llength $members ] == 0 } {
+        turbine::container_reduce_store $kind $o
+        return
+    }
+    turbine::rule $members \
+        [ concat turbine::container_reduce_store $kind $o $members ] LOCAL
+}
+proc turbine::container_reduce_store { kind o args } {
+    set vals [ list ]
+    foreach td $args { lappend vals [ turbine::retrieve $td ] }
+    switch $kind {
+        sum_integer {
+            set acc 0
+            foreach v $vals { incr acc $v }
+            turbine::store_integer $o $acc
+        }
+        sum_float {
+            set acc 0.0
+            foreach v $vals { set acc [ expr {$acc + $v} ] }
+            turbine::store_float $o $acc
+        }
+        max_integer {
+            set acc [ lindex $vals 0 ]
+            foreach v $vals { if { $v > $acc } { set acc $v } }
+            turbine::store_integer $o $acc
+        }
+        min_integer {
+            set acc [ lindex $vals 0 ]
+            foreach v $vals { if { $v < $acc } { set acc $v } }
+            turbine::store_integer $o $acc
+        }
+        max_float {
+            set acc [ lindex $vals 0 ]
+            foreach v $vals { if { $v > $acc } { set acc $v } }
+            turbine::store_float $o $acc
+        }
+        min_float {
+            set acc [ lindex $vals 0 ]
+            foreach v $vals { if { $v < $acc } { set acc $v } }
+            turbine::store_float $o $acc
+        }
+        default { error "unknown reduction $kind" }
+    }
+}
+
+# ---- deferred container ops ---------------------------------------------------
+# insert_when_ready: the subscript is itself a future; insert once known.
+proc turbine::insert_when_ready { c idx member } {
+    turbine::rule [ list $idx ] \
+        [ list turbine::insert_when_ready_body $c $idx $member ] LOCAL
+}
+proc turbine::insert_when_ready_body { c idx member } {
+    turbine::container_insert $c [ turbine::retrieve $idx ] $member 1
+}
+
+# cref_when_ready: container_reference with a future subscript.
+proc turbine::cref_when_ready { c idx ref } {
+    turbine::rule [ list $idx ] \
+        [ list turbine::cref_when_ready_body $c $idx $ref ] LOCAL
+}
+proc turbine::cref_when_ready_body { c idx ref } {
+    turbine::container_reference $c [ turbine::retrieve $idx ] $ref
+}
+
+# ---- sprintf ------------------------------------------------------------------
+proc turbine::sprintf_rule { o fmt args } {
+    if { [ llength $args ] == 0 } {
+        turbine::store_string $o [ format $fmt ]
+        return
+    }
+    turbine::rule $args [ concat turbine::sprintf_body $o [ list $fmt ] $args ] LOCAL
+}
+proc turbine::sprintf_body { o fmt args } {
+    set vals [ list ]
+    foreach td $args { lappend vals [ turbine::retrieve $td ] }
+    turbine::store_string $o [ format $fmt {*}$vals ]
+}
+
+# ---- blob builtins (run on workers, where blobutils lives) ----------------------
+proc turbine::blob_from_string_rule { o s } {
+    turbine::rule [ list $s ] \
+        [ list turbine::blob_from_string_body $o $s ] WORK
+}
+proc turbine::blob_from_string_body { o s } {
+    set h [ blobutils::from_string [ turbine::retrieve $s ] ]
+    turbine::store_blob $o $h
+    blobutils::free $h
+}
+proc turbine::string_from_blob_rule { o b } {
+    turbine::rule [ list $b ] \
+        [ list turbine::string_from_blob_body $o $b ] WORK
+}
+proc turbine::string_from_blob_body { o b } {
+    set h [ turbine::retrieve $b ]
+    turbine::store_string $o [ blobutils::to_string $h ]
+    blobutils::free $h
+}
+proc turbine::blob_size_rule { o b } {
+    turbine::rule [ list $b ] [ list turbine::blob_size_body $o $b ] WORK
+}
+proc turbine::blob_size_body { o b } {
+    set h [ turbine::retrieve $b ]
+    turbine::store_integer $o [ blobutils::size $h ]
+    blobutils::free $h
+}
+
+# ---- string builtins --------------------------------------------------------------
+proc turbine::strop_rule { kind o args } {
+    turbine::rule $args [ concat turbine::strop_body $kind $o $args ] LOCAL
+}
+proc turbine::strop_body { kind o args } {
+    set vals [ list ]
+    foreach td $args { lappend vals [ turbine::retrieve $td ] }
+    switch $kind {
+        substring {
+            lassign $vals s start len
+            set end [ expr { $start + $len - 1 } ]
+            turbine::store_string $o [ string range $s $start $end ]
+        }
+        find {
+            lassign $vals hay needle
+            turbine::store_integer $o [ string first $needle $hay ]
+        }
+        replace_all {
+            lassign $vals s from to
+            turbine::store_string $o [ string map [ list $from $to ] $s ]
+        }
+        toupper { turbine::store_string $o [ string toupper [ lindex $vals 0 ] ] }
+        tolower { turbine::store_string $o [ string tolower [ lindex $vals 0 ] ] }
+        trim    { turbine::store_string $o [ string trim [ lindex $vals 0 ] ] }
+        default { error "unknown string op $kind" }
+    }
+}
+
+# split(s, sep) -> string[]: fills the output container, consuming the
+# single writer slot the call statement holds.
+proc turbine::split_rule { c s sep } {
+    turbine::rule [ list $s $sep ] \
+        [ list turbine::split_body $c $s $sep ] LOCAL
+}
+proc turbine::split_body { c s sep } {
+    set parts [ split [ turbine::retrieve $s ] [ turbine::retrieve $sep ] ]
+    set n [ llength $parts ]
+    turbine::write_refcount_incr $c $n
+    set i 0
+    foreach part $parts {
+        set m [ turbine::allocate string ]
+        turbine::store_string $m $part
+        turbine::container_insert $c $i $m 1
+        incr i
+    }
+    turbine::write_refcount_decr $c 1
+}
+
+# join(a, sep) -> string: waits for the container, then all members,
+# then joins in integer-subscript order.
+proc turbine::join_rule { o c sep } {
+    turbine::rule [ list $c $sep ] \
+        [ list turbine::join_members $o $c $sep ] LOCAL
+}
+proc turbine::join_members { o c sep } {
+    set subs [ lsort -integer [ turbine::enumerate $c ] ]
+    set members [ list ]
+    foreach sub $subs {
+        lappend members [ turbine::container_lookup $c $sub ]
+    }
+    if { [ llength $members ] == 0 } {
+        turbine::store_string $o ""
+        return
+    }
+    turbine::rule $members \
+        [ concat turbine::join_store $o $sep $members ] LOCAL
+}
+proc turbine::join_store { o sep args } {
+    set vals [ list ]
+    foreach td $args { lappend vals [ turbine::retrieve $td ] }
+    turbine::store_string $o [ join $vals [ turbine::retrieve $sep ] ]
+}
+
+# ---- program arguments ----------------------------------------------------------
+# argv values live in the ::swift_argv dict, installed by the runtime.
+proc turbine::argv_rule { kind o name args } {
+    set deps [ concat [ list $name ] $args ]
+    turbine::rule $deps [ concat turbine::argv_body $kind $o $name $args ] LOCAL
+}
+proc turbine::argv_body { kind o name args } {
+    global swift_argv
+    set key [ turbine::retrieve $name ]
+    if { [ info exists swift_argv ] && [ dict exists $swift_argv $key ] } {
+        set val [ dict get $swift_argv $key ]
+    } elseif { [ llength $args ] == 1 } {
+        set val [ turbine::retrieve [ lindex $args 0 ] ]
+    } else {
+        error "missing program argument --$key (and no default given)"
+    }
+    if { $kind eq "int" } {
+        turbine::store_integer $o [ expr { int($val) } ]
+    } else {
+        turbine::store_string $o $val
+    }
+}
+
+# ---- conversion builtins -------------------------------------------------------
+proc turbine::convert_rule { kind o a } {
+    turbine::rule [ list $a ] [ list turbine::convert_body $kind $o $a ] LOCAL
+}
+proc turbine::convert_body { kind o a } {
+    set x [ turbine::retrieve $a ]
+    switch $kind {
+        toint     { turbine::store_integer $o [ expr {int($x)} ] }
+        tofloat   { turbine::store_float $o [ expr {double($x)} ] }
+        fromint   { turbine::store_string $o $x }
+        fromfloat { turbine::store_string $o $x }
+        parseint  { turbine::store_integer $o [ expr {int($x)} ] }
+        strlen    { turbine::store_integer $o [ string length $x ] }
+        default   { error "unknown conversion $kind" }
+    }
+}
+
+# math functions on floats
+proc turbine::mathfn_rule { fn o a } {
+    turbine::rule [ list $a ] [ list turbine::mathfn_body $fn $o $a ] LOCAL
+}
+proc turbine::mathfn_body { fn o a } {
+    set x [ turbine::retrieve $a ]
+    turbine::store_float $o [ expr "$fn\(double(\$x))" ]
+}
+'''

@@ -1,0 +1,40 @@
+"""The Turbine worker loop: get a leaf task, run it, repeat."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..adlb.client import AdlbClient
+from ..adlb.constants import WORK
+
+
+@dataclass
+class WorkerStats:
+    tasks_run: int = 0
+    busy_time: float = 0.0
+    task_spans: list[tuple[float, float]] = field(default_factory=list)
+
+
+class Worker:
+    def __init__(self, client: AdlbClient, interp, record_spans: bool = False):
+        self.client = client
+        self.interp = interp
+        self.stats = WorkerStats()
+        self.record_spans = record_spans
+
+    def serve(self) -> WorkerStats:
+        import time
+
+        while True:
+            got = self.client.get((WORK,))
+            if got is None:
+                return self.stats
+            _, payload = got
+            t0 = time.perf_counter()
+            self.interp.eval(payload)
+            t1 = time.perf_counter()
+            self.stats.tasks_run += 1
+            self.stats.busy_time += t1 - t0
+            if self.record_spans:
+                self.stats.task_spans.append((t0, t1))
+            self.client.decr_work()

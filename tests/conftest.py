@@ -1,0 +1,22 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tcl import Interp
+
+
+@pytest.fixture()
+def tcl() -> Interp:
+    it = Interp()
+    it.echo = False
+    return it
+
+
+def run_swift(src: str, workers: int = 3, **kw) -> list[str]:
+    """Compile + run a Swift program; return sorted output lines."""
+    from repro import swift_run
+
+    res = swift_run(src, workers=workers, **kw)
+    return sorted(res.stdout_lines)

@@ -1,0 +1,225 @@
+"""The ADLB typed data store: single-assignment, refcounts, subscriptions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adlb.datastore import (
+    DataStore,
+    DataStoreError,
+    DoubleWriteError,
+    NotFoundError,
+    UnsetError,
+)
+
+
+@pytest.fixture()
+def ds():
+    return DataStore()
+
+
+class TestScalars:
+    def test_create_store_retrieve(self, ds):
+        ds.create(1, "integer")
+        ds.store(1, 42)
+        assert ds.retrieve(1) == 42
+
+    def test_retrieve_before_set_raises(self, ds):
+        ds.create(1, "integer", write_refcount=2)
+        with pytest.raises(UnsetError):
+            ds.retrieve(1)
+
+    def test_double_write_raises(self, ds):
+        ds.create(1, "string", write_refcount=2)
+        ds.store(1, "a")
+        with pytest.raises(DoubleWriteError):
+            ds.store(1, "b")
+
+    def test_duplicate_create_raises(self, ds):
+        ds.create(1, "integer")
+        with pytest.raises(DataStoreError):
+            ds.create(1, "integer")
+
+    def test_unknown_type_raises(self, ds):
+        with pytest.raises(DataStoreError):
+            ds.create(1, "quaternion")
+
+    def test_lookup_missing_raises(self, ds):
+        with pytest.raises(NotFoundError):
+            ds.lookup(99)
+
+    def test_exists(self, ds):
+        assert not ds.exists(1)
+        ds.create(1, "integer", write_refcount=2)
+        assert not ds.exists(1)  # created but unset
+        ds.store(1, 5, decr_write=1)
+        assert ds.exists(1)
+
+    def test_store_closes_at_zero_writers(self, ds):
+        td = ds.create(1, "integer")
+        ds.store(1, 5)
+        assert td.closed
+
+    def test_store_with_remaining_writers_stays_open(self, ds):
+        td = ds.create(1, "integer", write_refcount=3)
+        ds.store(1, 5, decr_write=1)
+        assert not td.closed
+
+
+class TestSubscriptions:
+    def test_subscribe_before_close(self, ds):
+        ds.create(1, "integer")
+        assert ds.subscribe(1, rank=7) is False
+        notes, _ = ds.store(1, 5)
+        assert [(n.rank, n.id) for n in notes] == [(7, 1)]
+
+    def test_subscribe_after_close(self, ds):
+        ds.create(1, "integer")
+        ds.store(1, 5)
+        assert ds.subscribe(1, rank=7) is True
+
+    def test_multiple_subscribers_all_notified(self, ds):
+        ds.create(1, "integer")
+        for r in (3, 4, 5):
+            ds.subscribe(1, rank=r)
+        notes, _ = ds.store(1, 9)
+        assert sorted(n.rank for n in notes) == [3, 4, 5]
+
+    def test_notifications_fire_once(self, ds):
+        ds.create(1, "integer", write_refcount=2)
+        ds.subscribe(1, rank=3)
+        notes, _ = ds.store(1, 9, decr_write=1)
+        assert notes == []
+        notes = ds.refcount(1, write_delta=-1)
+        assert len(notes) == 1
+
+    def test_close_via_refcount(self, ds):
+        ds.create(1, "container")
+        ds.subscribe(1, rank=2)
+        notes = ds.refcount(1, write_delta=-1)
+        assert [n.rank for n in notes] == [2]
+
+
+class TestContainers:
+    def test_insert_and_lookup(self, ds):
+        ds.create(1, "container", write_refcount=3)
+        ds.store(1, 100, subscript="0")
+        ds.store(1, 101, subscript="1")
+        assert ds.retrieve(1, subscript="0") == 100
+        assert sorted(ds.enumerate(1)) == ["0", "1"]
+
+    def test_duplicate_subscript_raises(self, ds):
+        ds.create(1, "container", write_refcount=3)
+        ds.store(1, 100, subscript="k")
+        with pytest.raises(DoubleWriteError):
+            ds.store(1, 200, subscript="k")
+
+    def test_missing_subscript_raises(self, ds):
+        ds.create(1, "container", write_refcount=2)
+        with pytest.raises(UnsetError):
+            ds.retrieve(1, subscript="zz")
+
+    def test_scalar_store_on_container_requires_subscript(self, ds):
+        ds.create(1, "container")
+        with pytest.raises(DataStoreError):
+            ds.store(1, 5)
+
+    def test_subscript_on_scalar_raises(self, ds):
+        ds.create(1, "integer")
+        with pytest.raises(DataStoreError):
+            ds.store(1, 5, subscript="0")
+
+    def test_whole_container_retrieve(self, ds):
+        ds.create(1, "container", write_refcount=3)
+        ds.store(1, 10, subscript="a")
+        ds.store(1, 20, subscript="b")
+        assert ds.retrieve(1) == {"a": 10, "b": 20}
+
+    def test_container_reference_existing_member(self, ds):
+        ds.create(1, "container", write_refcount=2)
+        ds.store(1, 99, subscript="k")
+        ref = ds.container_reference(1, "k", ref_id=50)
+        assert ref is not None and ref.ref_id == 50 and ref.value == 99
+
+    def test_container_reference_pending_member(self, ds):
+        ds.create(1, "container", write_refcount=2)
+        assert ds.container_reference(1, "k", ref_id=50) is None
+        _, refs = ds.store(1, 99, subscript="k")
+        assert [(r.ref_id, r.value) for r in refs] == [(50, 99)]
+
+    def test_multiple_pending_refs(self, ds):
+        ds.create(1, "container", write_refcount=2)
+        ds.container_reference(1, "k", 50)
+        ds.container_reference(1, "k", 51)
+        _, refs = ds.store(1, 1, subscript="k")
+        assert sorted(r.ref_id for r in refs) == [50, 51]
+
+
+class TestRefcounts:
+    def test_negative_write_refcount_raises(self, ds):
+        ds.create(1, "integer")
+        ds.store(1, 5)
+        with pytest.raises(DataStoreError):
+            ds.refcount(1, write_delta=-1)
+
+    def test_incr_after_close_raises(self, ds):
+        ds.create(1, "integer")
+        ds.store(1, 5)
+        with pytest.raises(DataStoreError):
+            ds.refcount(1, write_delta=1)
+
+    def test_read_refcount_gc(self, ds):
+        ds.create(1, "integer")
+        ds.store(1, 5)
+        ds.refcount(1, read_delta=-1)
+        with pytest.raises(NotFoundError):
+            ds.lookup(1)
+
+    def test_create_with_zero_writers_rejected(self, ds):
+        with pytest.raises(DataStoreError):
+            ds.create(1, "integer", write_refcount=0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=9), st.integers()),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_container_mirrors_dict(pairs):
+    """A container behaves like a write-once dict over subscripts."""
+    ds = DataStore()
+    ds.create(1, "container", write_refcount=len(pairs) + 1)
+    mirror: dict[str, int] = {}
+    for key, value in pairs:
+        sub = str(key)
+        if sub in mirror:
+            with pytest.raises(DoubleWriteError):
+                ds.store(1, value, subscript=sub)
+        else:
+            ds.store(1, value, subscript=sub)
+            mirror[sub] = value
+    assert ds.retrieve(1) == mirror
+    assert sorted(ds.enumerate(1)) == sorted(mirror.keys())
+
+
+@given(st.integers(min_value=1, max_value=20), st.data())
+@settings(max_examples=100, deadline=None)
+def test_property_close_exactly_at_zero(writers, data):
+    """The TD closes exactly when cumulative decrements reach writers."""
+    ds = DataStore()
+    td = ds.create(1, "container", write_refcount=writers)
+    ds.subscribe(1, rank=0)
+    remaining = writers
+    while remaining > 0:
+        dec = data.draw(st.integers(min_value=1, max_value=remaining))
+        notes = ds.refcount(1, write_delta=-dec)
+        remaining -= dec
+        if remaining == 0:
+            assert td.closed and len(notes) == 1
+        else:
+            assert not td.closed and notes == []

@@ -1,0 +1,97 @@
+"""Public API surface and baselines."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro import CompiledProgram, SwiftRuntime, compile_swift, swift_run
+from repro.adlb.baselines import run_adlb_dynamic, run_static_round_robin
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_compile_returns_program(self):
+        compiled = compile_swift('printf("x");')
+        assert isinstance(compiled, CompiledProgram)
+        assert compiled.entry == "swift:main"
+        assert "proc swift:main" in compiled.tcl_text
+
+    def test_swift_run_result_fields(self):
+        res = swift_run('printf("a"); printf("b");', workers=2)
+        assert sorted(res.stdout_lines) == ["a", "b"]
+        assert res.stdout in ("a\nb", "b\na")
+        assert res.elapsed > 0
+        assert len(res.server_stats) == 1
+        assert len(res.engine_stats) == 1
+        assert len(res.worker_stats) == 2
+
+    def test_compile_once_run_many(self):
+        rt = SwiftRuntime(workers=2)
+        compiled = rt.compile('printf("run");')
+        out1 = rt.run_compiled(compiled)
+        out2 = rt.run_compiled(compiled)
+        assert out1.stdout_lines == out2.stdout_lines == ["run"]
+
+    def test_setup_hook_receives_context(self):
+        seen = []
+
+        def setup(interp, ctx, client):
+            seen.append((ctx.role, client.rank))
+            interp.register("myext::id", lambda it, args: args[0])
+            interp.packages_provided["myext"] = "1.0"
+
+        res = swift_run(
+            '(string o) ident(string s) "myext" "1.0" '
+            '[ "set <<o>> [ myext::id <<s>> ]" ];\n'
+            'printf("%s", ident("through-native"));\n',
+            workers=2,
+            setup=setup,
+        )
+        assert res.stdout_lines == ["through-native"]
+        roles = {r for r, _ in seen}
+        assert roles == {"engine", "worker"}
+
+    def test_compile_error_raised_before_launch(self):
+        with pytest.raises(repro.SwiftError):
+            swift_run("int x = ;", workers=2)
+
+    def test_server_stats_surface(self):
+        res = swift_run("foreach i in [0:9] { trace(i); }", workers=2)
+        total_queued = sum(
+            s.tasks_queued + s.tasks_matched for s in res.server_stats
+        )
+        assert total_queued > 0
+
+
+class TestBaselines:
+    def test_static_round_robin_runs_all(self):
+        hits = []
+        run_static_round_robin(3, lambda i: hits.append(i), 12)
+        assert sorted(hits) == list(range(12))
+
+    def test_adlb_dynamic_runs_all(self):
+        hits = []
+        run_adlb_dynamic(3, lambda i: hits.append(i), 12)
+        assert sorted(hits) == list(range(12))
+
+    def test_dynamic_balances_heavy_tail_better(self):
+        durations = np.full(24, 0.001)
+        # long tasks all land on worker 0 under static i % 3 assignment
+        durations[[0, 3, 6]] = 0.02
+        def task(i):
+            time.sleep(durations[int(i)])
+
+        static = run_static_round_robin(3, task, 24)
+        dynamic = run_adlb_dynamic(3, task, 24)
+        # static puts all three long tasks on worker 0 (i % 3 == 0)
+        assert dynamic.imbalance < static.imbalance
+
+    def test_imbalance_zero_for_empty(self):
+        res = run_static_round_robin(2, lambda i: None, 0)
+        assert res.imbalance >= 0.0

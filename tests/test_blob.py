@@ -1,0 +1,217 @@
+"""blobutils: blobs, casts, C-string framing, Fortran arrays, pointers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blob import (
+    Blob,
+    FortranArray,
+    PointerTable,
+    blob_from_floats,
+    blob_from_string,
+    blob_to_floats,
+    blob_to_string,
+    floats_from_string,
+    floats_to_string,
+)
+from repro.blob.blob import BlobError
+from repro.blob.pointers import PointerError
+
+
+class TestBlob:
+    def test_from_bytes_round_trip(self):
+        blob = Blob.from_bytes(b"\x01\x02\x03")
+        assert blob.to_bytes() == b"\x01\x02\x03"
+        assert blob.nbytes == 3
+        assert len(blob) == 3
+
+    def test_double_blob(self):
+        blob = Blob(np.array([1.5, 2.5]), "double")
+        assert blob.nbytes == 16
+        assert blob.get(1) == 2.5
+
+    def test_cast_void_to_double(self):
+        raw = np.array([1.0, 2.0, 3.0]).tobytes()
+        blob = Blob.from_bytes(raw)  # byte-typed, like void*
+        doubles = blob.cast("double")
+        assert list(doubles.data) == [1.0, 2.0, 3.0]
+
+    def test_cast_shares_buffer(self):
+        blob = Blob(np.zeros(4), "double")
+        view = blob.cast("byte")
+        view.data[0] = 1  # mutate through the view
+        assert blob.to_bytes()[0] == 1
+
+    def test_cast_misaligned_raises(self):
+        blob = Blob.from_bytes(b"\x00" * 7)
+        with pytest.raises(BlobError):
+            blob.cast("double")
+
+    def test_unknown_ctype_raises(self):
+        with pytest.raises(BlobError):
+            Blob(b"", "quadfloat")
+
+    def test_get_set_bounds(self):
+        blob = Blob(np.zeros(3), "double")
+        blob.set(2, 9.0)
+        assert blob.get(2) == 9.0
+        with pytest.raises(BlobError):
+            blob.get(3)
+        with pytest.raises(BlobError):
+            blob.set(-1, 0.0)
+
+    def test_equality(self):
+        a = Blob(np.array([1.0, 2.0]), "double")
+        b = Blob(np.array([1.0, 2.0]), "double")
+        c = Blob(np.array([1.0, 3.0]), "double")
+        assert a == b
+        assert a != c
+
+
+class TestStringFraming:
+    def test_c_string_round_trip(self):
+        blob = blob_from_string("héllo wörld")
+        assert blob.to_bytes().endswith(b"\x00")
+        assert blob_to_string(blob) == "héllo wörld"
+
+    def test_embedded_content_after_nul_ignored(self):
+        blob = Blob.from_bytes(b"abc\x00junk")
+        assert blob_to_string(blob) == "abc"
+
+    def test_empty_string(self):
+        assert blob_to_string(blob_from_string("")) == ""
+
+
+class TestFloatMarshaling:
+    def test_blob_round_trip(self):
+        values = [1.0, -2.5, 3.14159, 1e-8]
+        assert list(blob_to_floats(blob_from_floats(values))) == values
+
+    def test_string_baseline_round_trip(self):
+        values = [1.0, -2.5, 0.1]
+        assert list(floats_from_string(floats_to_string(values))) == values
+
+    def test_empty_string_baseline(self):
+        assert list(floats_from_string("")) == []
+
+    def test_bad_float_string_raises(self):
+        with pytest.raises(BlobError):
+            floats_from_string("1.0 banana")
+
+
+class TestFortranArray:
+    def test_column_major_layout(self):
+        fa = FortranArray.zeros((2, 3))
+        fa.set(1, 0, 5.0)
+        # column-major: element (1,0) is at linear offset 1
+        assert fa.blob.cast("double").get(1) == 5.0
+        assert fa.linear_index(1, 0) == 1
+        assert fa.linear_index(0, 1) == 2
+
+    def test_from_numpy_round_trip(self):
+        arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+        fa = FortranArray.from_numpy(arr)
+        assert np.array_equal(fa.to_numpy(), arr)
+
+    def test_shape_mismatch_raises(self):
+        blob = Blob(np.zeros(5), "double")
+        with pytest.raises(BlobError):
+            FortranArray(blob, (2, 3))
+
+    def test_bad_dimension_raises(self):
+        with pytest.raises(BlobError):
+            FortranArray.zeros((0, 3))
+
+    def test_out_of_bounds_linear_index(self):
+        fa = FortranArray.zeros((2, 2))
+        with pytest.raises(BlobError):
+            fa.linear_index(2, 0)
+
+    def test_3d(self):
+        fa = FortranArray.zeros((2, 3, 4))
+        fa.set(1, 2, 3, 7.0)
+        assert fa.get(1, 2, 3) == 7.0
+        assert fa.linear_index(1, 2, 3) == 1 + 2 * 2 + 3 * 6
+
+
+class TestPointerTable:
+    def test_register_lookup(self):
+        pt = PointerTable()
+        h = pt.register([1, 2], "double")
+        assert h.endswith("_p_double")
+        assert pt.lookup(h) == [1, 2]
+        assert pt.lookup(h, "double") == [1, 2]
+
+    def test_type_mismatch_raises(self):
+        pt = PointerTable()
+        h = pt.register(object(), "void")
+        with pytest.raises(PointerError, match="type mismatch"):
+            pt.lookup(h, "double")
+
+    def test_cast_changes_type(self):
+        pt = PointerTable()
+        h = pt.register("obj", "void")
+        h2 = pt.cast(h, "double")
+        assert pt.lookup(h2, "double") == "obj"
+
+    def test_free_dangles(self):
+        pt = PointerTable()
+        h = pt.register(1, "int")
+        pt.free(h)
+        with pytest.raises(PointerError, match="dangling"):
+            pt.lookup(h)
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(PointerError):
+            PointerTable.parse("not-a-pointer")
+
+
+# --- properties --------------------------------------------------------------
+
+_float_lists = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    min_size=0,
+    max_size=50,
+)
+
+
+@given(_float_lists)
+@settings(max_examples=150, deadline=None)
+def test_property_blob_float_round_trip(values):
+    assert list(blob_to_floats(blob_from_floats(values))) == values
+
+
+@given(_float_lists)
+@settings(max_examples=150, deadline=None)
+def test_property_string_marshal_round_trip(values):
+    assert list(floats_from_string(floats_to_string(values))) == values
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=150, deadline=None)
+def test_property_bytes_round_trip(raw):
+    assert Blob.from_bytes(raw).to_bytes() == raw
+
+
+@given(st.text(max_size=60).filter(lambda s: "\x00" not in s))
+@settings(max_examples=150, deadline=None)
+def test_property_c_string_round_trip(s):
+    assert blob_to_string(blob_from_string(s)) == s
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_fortran_layout_matches_numpy(rows, cols):
+    arr = np.arange(rows * cols, dtype=np.float64).reshape(rows, cols)
+    fa = FortranArray.from_numpy(arr)
+    for i in range(rows):
+        for j in range(cols):
+            assert fa.get(i, j) == arr[i, j]
+            assert fa.blob.cast("double").get(fa.linear_index(i, j)) == arr[i, j]

@@ -1,0 +1,107 @@
+"""The command-line interface (stc/turbine analog)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def demo_swift(tmp_path):
+    path = tmp_path / "demo.swift"
+    path.write_text(
+        "int n = argv_int(\"n\", 3);\n"
+        "int a[];\n"
+        "foreach i in [0:n] { a[i] = i; }\n"
+        'printf("total=%i", sum_integer(a));\n'
+    )
+    return str(path)
+
+
+class TestCompile:
+    def test_compile_writes_tic(self, demo_swift, capsys):
+        assert main(["compile", demo_swift]) == 0
+        tic = demo_swift.replace(".swift", ".tic")
+        assert os.path.exists(tic)
+        text = open(tic).read()
+        assert "proc swift:main" in text
+        assert "compiled" in capsys.readouterr().out
+
+    def test_compile_custom_output_and_opt(self, demo_swift, tmp_path, capsys):
+        out = str(tmp_path / "custom.tcl")
+        assert main(["compile", demo_swift, "-O2", "-o", out]) == 0
+        assert "-O2" in capsys.readouterr().out
+        assert os.path.exists(out)
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.swift"
+        bad.write_text("int x = ;")
+        assert main(["compile", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/no/such/file.swift"]) == 1
+
+
+class TestRun:
+    def test_run_default_args(self, demo_swift, capsys):
+        assert main(["run", demo_swift, "--workers", "2"]) == 0
+        assert "total=6" in capsys.readouterr().out
+
+    def test_run_with_args(self, demo_swift, capsys):
+        assert main(["run", demo_swift, "--arg", "n=5"]) == 0
+        assert "total=15" in capsys.readouterr().out
+
+    def test_run_failure_exit_code(self, tmp_path, capsys):
+        src = tmp_path / "fail.swift"
+        src.write_text('assert(1 > 2, "always fails");')
+        assert main(["run", str(src)]) == 3
+        assert "run failed" in capsys.readouterr().err
+
+    def test_bad_arg_format(self, demo_swift):
+        with pytest.raises(SystemExit):
+            main(["run", demo_swift, "--arg", "oops"])
+
+    def test_runtcl_roundtrip(self, demo_swift, capsys):
+        assert main(["compile", demo_swift]) == 0
+        capsys.readouterr()
+        tic = demo_swift.replace(".swift", ".tic")
+        assert main(["runtcl", tic, "--arg", "n=4"]) == 0
+        assert "total=10" in capsys.readouterr().out
+
+
+class TestSubmit:
+    def test_submit_slurm(self, demo_swift, capsys):
+        assert main(
+            ["submit", demo_swift, "--scheduler", "slurm", "--nodes", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#SBATCH --nodes=64" in out
+        assert "demo.tic" in out
+
+    def test_submit_cobalt(self, demo_swift, capsys):
+        assert main(
+            [
+                "submit", demo_swift, "--scheduler", "cobalt",
+                "--nodes", "1024", "--ppn", "16", "--walltime", "1800",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#COBALT -n 1024" in out
+        assert "#COBALT -t 30" in out
+
+
+class TestArgv:
+    def test_argv_missing_without_default_fails(self, tmp_path):
+        src = tmp_path / "needs.swift"
+        src.write_text('printf("%s", argv("required"));')
+        assert main(["run", str(src)]) == 3
+
+    def test_argv_string(self, tmp_path, capsys):
+        src = tmp_path / "greet.swift"
+        src.write_text('printf("hi %s", argv("who"));')
+        assert main(["run", str(src), "--arg", "who=world"]) == 0
+        assert "hi world" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""The shipped examples run end to end and produce their key output."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "sum of squares 0..9 = 285" in out
+    assert "python says 10! = 3628800" in out
+    assert "R says mean = 5" in out
+    assert "hello from a subprocess" in out
+
+
+def test_materials_sweep():
+    out = run_example("materials_sweep.py")
+    assert "minimum energy per atom: -" in out
+    assert "native kernel called 21 times" in out
+
+
+def test_protein_pipeline():
+    out = run_example("protein_pipeline.py")
+    assert "peptides scored" in out
+    assert "per-worker task counts" in out
+    # every peptide produced a verdict
+    assert out.count("(score") == 24
+
+
+def test_powergrid_contingency():
+    out = run_example("powergrid_contingency.py")
+    assert "contingency sweep: worst =" in out
+    assert "12 contingencies solved by the Fortran kernel" in out
+
+
+def test_deploy_static_package():
+    out = run_example("deploy_static_package.py")
+    assert "loose files :  30 opens/rank" in out
+    assert "static pkg  :   1 opens/rank" in out
+    assert "warming trend:" in out
+    assert "#SBATCH --nodes=512" in out
+    assert "#COBALT -n 512" in out

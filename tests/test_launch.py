@@ -1,0 +1,127 @@
+"""Job specs, submission-script rendering, and the simulated scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.launch import JobError, JobSpec, SimScheduler, render
+
+
+class TestJobSpec:
+    def test_totals(self):
+        spec = JobSpec("j", nodes=4, procs_per_node=16)
+        assert spec.total_procs == 64
+
+    def test_walltime_format(self):
+        assert JobSpec("j", nodes=1, walltime_s=3725).walltime_hms() == "01:02:05"
+
+    def test_validation(self):
+        with pytest.raises(JobError):
+            JobSpec("j", nodes=0)
+        with pytest.raises(JobError):
+            JobSpec("j", nodes=1, procs_per_node=0)
+        with pytest.raises(JobError):
+            JobSpec("j", nodes=1, walltime_s=0)
+
+
+class TestRenderers:
+    def test_pbs(self):
+        text = render(JobSpec("sim", nodes=8, procs_per_node=4), "pbs")
+        assert "#PBS -l nodes=8:ppn=4" in text
+        assert "mpiexec -n 32 turbine" in text
+
+    def test_slurm(self):
+        text = render(JobSpec("sim", nodes=2, queue="debug"), "slurm")
+        assert "#SBATCH --nodes=2" in text
+        assert "--partition=debug" in text
+        assert "srun -n 2" in text
+
+    def test_cobalt_bgq(self):
+        text = render(
+            JobSpec("sim", nodes=1024, procs_per_node=16, walltime_s=7200),
+            "cobalt",
+        )
+        assert "#COBALT -n 1024" in text
+        assert "#COBALT -t 120" in text
+        assert "runjob --np 16384" in text
+
+    def test_env_vars_exported(self):
+        spec = JobSpec("j", nodes=1, env={"TURBINE_LOG": "1"})
+        assert "export TURBINE_LOG=1" in render(spec, "slurm")
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(JobError, match="unknown scheduler"):
+            render(JobSpec("j", nodes=1), "loadleveler")
+
+
+class TestSimScheduler:
+    def test_fifo_single_job(self):
+        s = SimScheduler(total_nodes=4)
+        jid = s.submit(JobSpec("a", nodes=4, estimated_runtime_s=10))
+        assert s.state(jid) == "running"
+        assert s.run_to_completion() == 10.0
+        assert s.state(jid) == "done"
+
+    def test_sequential_when_full(self):
+        s = SimScheduler(total_nodes=4)
+        a = s.submit(JobSpec("a", nodes=4, estimated_runtime_s=10))
+        b = s.submit(JobSpec("b", nodes=4, estimated_runtime_s=10))
+        assert s.state(b) == "queued"
+        assert s.run_to_completion() == 20.0
+
+    def test_parallel_when_fits(self):
+        s = SimScheduler(total_nodes=8)
+        s.submit(JobSpec("a", nodes=4, estimated_runtime_s=10))
+        s.submit(JobSpec("b", nodes=4, estimated_runtime_s=10))
+        assert s.run_to_completion() == 10.0
+
+    def test_backfill_small_job_jumps_queue(self):
+        s = SimScheduler(total_nodes=8, backfill=True)
+        s.submit(JobSpec("running", nodes=6, estimated_runtime_s=100))
+        big = s.submit(JobSpec("big", nodes=8, estimated_runtime_s=10))
+        small = s.submit(JobSpec("small", nodes=2, estimated_runtime_s=50))
+        # small (2 nodes, 50s) fits in the 2 free nodes and finishes
+        # before the big job could start (t=100), so it backfills now
+        assert s.state(small) == "running"
+        assert s.state(big) == "queued"
+        s.run_to_completion()
+
+    def test_backfill_does_not_delay_head(self):
+        s = SimScheduler(total_nodes=8, backfill=True)
+        s.submit(JobSpec("running", nodes=6, estimated_runtime_s=100))
+        s.submit(JobSpec("big", nodes=8, estimated_runtime_s=10))
+        late = s.submit(JobSpec("toolong", nodes=2, estimated_runtime_s=500))
+        # 500s > head's start estimate (100s): must NOT backfill
+        assert s.state(late) == "queued"
+
+    def test_no_backfill_mode(self):
+        s = SimScheduler(total_nodes=8, backfill=False)
+        s.submit(JobSpec("running", nodes=6, estimated_runtime_s=100))
+        s.submit(JobSpec("big", nodes=8, estimated_runtime_s=10))
+        small = s.submit(JobSpec("small", nodes=2, estimated_runtime_s=5))
+        assert s.state(small) == "queued"
+
+    def test_oversized_job_rejected(self):
+        s = SimScheduler(total_nodes=4)
+        with pytest.raises(JobError, match="machine has"):
+            s.submit(JobSpec("huge", nodes=5))
+
+    def test_wait_times_recorded(self):
+        s = SimScheduler(total_nodes=4)
+        a = s.submit(JobSpec("a", nodes=4, estimated_runtime_s=30))
+        b = s.submit(JobSpec("b", nodes=4, estimated_runtime_s=5))
+        s.run_to_completion()
+        assert s.records[a].wait_time == 0.0
+        assert s.records[b].wait_time == 30.0
+
+    def test_utilization(self):
+        s = SimScheduler(total_nodes=4)
+        s.submit(JobSpec("a", nodes=4, estimated_runtime_s=10))
+        s.run_to_completion()
+        assert s.utilization() == pytest.approx(1.0)
+
+    def test_submit_at_time(self):
+        s = SimScheduler(total_nodes=4)
+        s.submit(JobSpec("a", nodes=2, estimated_runtime_s=10))
+        s.submit(JobSpec("b", nodes=2, estimated_runtime_s=10), at=5.0)
+        assert s.run_to_completion() == 15.0

@@ -1,0 +1,197 @@
+"""The thread-backed MPI substrate."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    AbortError,
+    DeadlockError,
+    World,
+    run_world,
+)
+from repro.mpi.launcher import RankFailure
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+            elif comm.rank == 1:
+                data, st = comm.recv(source=0, tag=11)
+                assert data == {"a": 7}
+                assert st.source == 0 and st.tag == 11
+
+        run_world(2, main)
+
+    def test_tag_matching_out_of_order(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, tag=1)
+                comm.send("second", 1, tag=2)
+            else:
+                # receive tag 2 before tag 1
+                b, _ = comm.recv(source=0, tag=2)
+                a, _ = comm.recv(source=0, tag=1)
+                assert (a, b) == ("first", "second")
+
+        run_world(2, main)
+
+    def test_fifo_per_source_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(50):
+                    comm.send(i, 1, tag=3)
+            else:
+                for i in range(50):
+                    v, _ = comm.recv(source=0, tag=3)
+                    assert v == i
+
+        run_world(2, main)
+
+    def test_any_source(self):
+        def main(comm):
+            if comm.rank == 0:
+                seen = set()
+                for _ in range(comm.size - 1):
+                    v, st = comm.recv(source=ANY_SOURCE, tag=5)
+                    assert v == st.source
+                    seen.add(st.source)
+                assert seen == {1, 2, 3}
+            else:
+                comm.send(comm.rank, 0, tag=5)
+
+        run_world(4, main)
+
+    def test_iprobe(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", 1, tag=9)
+            else:
+                while comm.iprobe(tag=9) is None:
+                    time.sleep(0.001)
+                st = comm.iprobe(tag=9)
+                assert st.source == 0
+                comm.recv(source=0, tag=9)
+                assert comm.iprobe(tag=9) is None
+
+        run_world(2, main)
+
+    def test_recv_poll_timeout_returns_none(self):
+        def main(comm):
+            assert comm.recv_poll(timeout=0.05) is None
+
+        run_world(1, main)
+
+    def test_bad_destination(self):
+        def main(comm):
+            with pytest.raises(ValueError):
+                comm.send("x", 99)
+
+        run_world(1, main)
+
+
+class TestCollectives:
+    def test_barrier(self):
+        order = []
+        lock = threading.Lock()
+
+        def main(comm):
+            with lock:
+                order.append(("pre", comm.rank))
+            comm.barrier()
+            with lock:
+                order.append(("post", comm.rank))
+
+        run_world(4, main)
+        pres = [i for i, (phase, _) in enumerate(order) if phase == "pre"]
+        posts = [i for i, (phase, _) in enumerate(order) if phase == "post"]
+        assert max(pres) < min(posts)
+
+    def test_bcast(self):
+        def main(comm):
+            value = comm.bcast("payload" if comm.rank == 0 else None, root=0)
+            assert value == "payload"
+
+        run_world(4, main)
+
+    def test_gather_scatter(self):
+        def main(comm):
+            got = comm.gather(comm.rank * 2, root=0)
+            if comm.rank == 0:
+                assert got == [0, 2, 4, 6]
+                out = comm.scatter([i * 10 for i in range(4)], root=0)
+            else:
+                assert got is None
+                out = comm.scatter(None, root=0)
+            assert out == comm.rank * 10
+
+        run_world(4, main)
+
+    def test_allgather_allreduce(self):
+        def main(comm):
+            assert comm.allgather(comm.rank) == list(range(comm.size))
+            assert comm.allreduce(1) == comm.size
+            assert comm.allreduce(comm.rank, op=max) == comm.size - 1
+
+        run_world(5, main)
+
+
+class TestFailures:
+    def test_rank_exception_propagates(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank one exploded")
+            # other ranks block; abort should wake them
+            comm.recv(source=0, tag=77)
+
+        with pytest.raises(RankFailure, match="rank one exploded"):
+            run_world(3, main, recv_timeout=30.0)
+
+    def test_deadlock_detection(self):
+        def main(comm):
+            comm.recv(source=0, tag=1, timeout=0.2)
+
+        with pytest.raises(RankFailure) as exc_info:
+            run_world(1, main)
+        assert isinstance(exc_info.value.failures[0][1], DeadlockError)
+
+    def test_abort_wakes_barrier(self):
+        def main(comm):
+            if comm.rank == 0:
+                raise ValueError("fail fast")
+            comm.barrier()
+
+        with pytest.raises(RankFailure, match="fail fast"):
+            run_world(3, main)
+
+
+class TestStats:
+    def test_message_accounting(self):
+        world = World(2)
+
+        def sender():
+            world.comm(0).send(b"x" * 100, 1)
+
+        def receiver():
+            world.comm(1).recv(source=0)
+
+        t1, t2 = threading.Thread(target=sender), threading.Thread(target=receiver)
+        t1.start(); t2.start(); t1.join(); t2.join()
+        assert world.stats[0].sends == 1
+        assert world.stats[0].bytes_sent >= 100
+        assert world.stats[1].recvs == 1
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            World(0)
+
+    def test_results_returned_in_rank_order(self):
+        results = run_world(4, lambda comm: comm.rank ** 2)
+        assert results == [0, 1, 4, 9]

@@ -1,0 +1,291 @@
+"""The Swift language frontend: lexer, parser, semantic checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    SwiftNameError,
+    SwiftSyntaxError,
+    SwiftTypeError,
+    analyze,
+    parse,
+)
+from repro.core.lexer import tokenize
+from repro.core.swift_ast import (
+    Assign,
+    BinOp,
+    Call,
+    Decl,
+    Foreach,
+    If,
+    Literal,
+    RangeSpec,
+    Subscript,
+    VarRef,
+    Wait,
+)
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("int xint")
+        assert toks[0].kind == "kw"
+        assert toks[1].kind == "id"
+
+    def test_numbers(self):
+        toks = tokenize("42 3.14 1e3 2.5e-2")
+        assert [t.kind for t in toks[:-1]] == ["int", "float", "float", "float"]
+
+    def test_string_escapes(self):
+        (tok, _) = tokenize(r'"a\tb\n"')
+        assert tok.text == "a\tb\n"
+
+    def test_comments_all_styles(self):
+        toks = tokenize("1 // line\n2 # hash\n3 /* block\nmore */ 4")
+        assert [t.text for t in toks[:-1]] == ["1", "2", "3", "4"]
+
+    def test_operators(self):
+        toks = tokenize("a==b!=c<=d>=e&&f||g**h")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ops == ["==", "!=", "<=", ">=", "&&", "||", "**"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SwiftSyntaxError):
+            tokenize('"abc')
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SwiftSyntaxError):
+            tokenize("/* never closed")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+
+class TestParser:
+    def test_declaration_with_init(self):
+        prog = parse("int x = 5;")
+        decl = prog.main.stmts[0]
+        assert isinstance(decl, Decl)
+        assert decl.name == "x"
+        assert isinstance(decl.init, Literal)
+
+    def test_array_declaration(self):
+        prog = parse("float a[];")
+        assert prog.main.stmts[0].swift_type.is_array
+
+    def test_operator_precedence(self):
+        prog = parse("int x = 1 + 2 * 3;")
+        init = prog.main.stmts[0].init
+        assert isinstance(init, BinOp) and init.op == "+"
+        assert isinstance(init.right, BinOp) and init.right.op == "*"
+
+    def test_power_right_assoc(self):
+        prog = parse("int x = 2 ** 3 ** 2;")
+        init = prog.main.stmts[0].init
+        assert init.op == "**"
+        assert isinstance(init.right, BinOp) and init.right.op == "**"
+
+    def test_call_and_subscript(self):
+        prog = parse("x = f(a[1], 2);")
+        stmt = prog.main.stmts[0]
+        assert isinstance(stmt, Assign)
+        call = stmt.exprs[0]
+        assert isinstance(call, Call)
+        assert isinstance(call.args[0], Subscript)
+
+    def test_multi_assignment(self):
+        prog = parse("a, b = f(1);")
+        assert len(prog.main.stmts[0].targets) == 2
+
+    def test_if_else_chain(self):
+        prog = parse("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }")
+        stmt = prog.main.stmts[0]
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.els.stmts[0], If)
+
+    def test_foreach_range(self):
+        prog = parse("foreach i in [0:9:2] { }")
+        stmt = prog.main.stmts[0]
+        assert isinstance(stmt, Foreach)
+        assert isinstance(stmt.iterable, RangeSpec)
+        assert stmt.iterable.step is not None
+
+    def test_foreach_array_with_index(self):
+        prog = parse("foreach v, i in a { }")
+        stmt = prog.main.stmts[0]
+        assert stmt.var == "v" and stmt.index_var == "i"
+
+    def test_wait(self):
+        prog = parse("wait (x, y) { }")
+        stmt = prog.main.stmts[0]
+        assert isinstance(stmt, Wait)
+        assert len(stmt.exprs) == 2
+
+    def test_function_definition(self):
+        prog = parse("(int o) f(int a, float b) { o = a; }")
+        fn = prog.funcs[0]
+        assert fn.name == "f"
+        assert [p.name for p in fn.outputs] == ["o"]
+        assert [p.name for p in fn.inputs] == ["a", "b"]
+
+    def test_zero_output_function(self):
+        prog = parse("() noop(int a) { trace(a); }")
+        assert prog.funcs[0].outputs == []
+
+    def test_extension_function_paper_syntax(self):
+        prog = parse(
+            '(int o) f(int i, int j) "my_package" "1.0" '
+            '[ "set <<o>> [ my_package::f <<i>> <<j>> ]" ];'
+        )
+        ext = prog.ext_funcs[0]
+        assert ext.package == "my_package"
+        assert "<<o>>" in ext.template
+
+    def test_app_definition(self):
+        prog = parse('app (string out) lister(string d) { "ls" d }')
+        app = prog.app_funcs[0]
+        assert app.name == "lister"
+        assert len(app.command) == 2
+
+    def test_main_block(self):
+        prog = parse("main { int x = 1; }")
+        assert isinstance(prog.main.stmts[0], Decl)
+
+    def test_import_ignored(self):
+        prog = parse("import io;\nint x = 1;")
+        assert len(prog.main.stmts) == 1
+
+    def test_missing_semicolon(self):
+        with pytest.raises(SwiftSyntaxError):
+            parse("int x = 5")
+
+    def test_unbalanced_block(self):
+        with pytest.raises(SwiftSyntaxError):
+            parse("if (a) { x = 1;")
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(SwiftSyntaxError):
+            parse("1 = x;")
+
+
+def check(src: str):
+    prog = parse(src)
+    return analyze(prog)
+
+
+class TestSemantics:
+    def test_valid_program(self):
+        check("int x = 5; printf(\"%i\", x);")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(SwiftNameError, match="undeclared"):
+            check("x = 5;")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(SwiftNameError, match="already declared"):
+            check("int x; int x;")
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(SwiftTypeError, match="more than once"):
+            check("int x; x = 1; x = 2;")
+
+    def test_type_mismatch_assignment(self):
+        with pytest.raises(SwiftTypeError):
+            check('int x = "hello";')
+
+    def test_int_to_float_widening_ok(self):
+        check("float x = 5;")
+
+    def test_float_to_int_rejected(self):
+        with pytest.raises(SwiftTypeError):
+            check("int x = 5.0;")
+
+    def test_unknown_function(self):
+        with pytest.raises(SwiftNameError, match="unknown function"):
+            check("int x = mystery(1);")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SwiftTypeError, match="argument"):
+            check("float y = sqrt(1.0, 2.0);")
+
+    def test_argument_type_check(self):
+        with pytest.raises(SwiftTypeError):
+            check('float y = sqrt("three");')
+
+    def test_string_concat_plus(self):
+        check('string s = "a" + "b";')
+
+    def test_string_plus_int_rejected(self):
+        with pytest.raises(SwiftTypeError):
+            check('string s = "a" + 1;')
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(SwiftTypeError, match="condition"):
+            check('if ("x") { }')
+
+    def test_branch_assignment_consistency(self):
+        with pytest.raises(SwiftTypeError, match="only one branch"):
+            check("int x; if (true) { x = 1; }")
+        with pytest.raises(SwiftTypeError, match="only one branch"):
+            check("int x; int y; if (true) { x = 1; } else { y = 2; }")
+        check("int x; if (true) { x = 1; } else { x = 2; }")
+
+    def test_array_writes_exempt_from_branch_rule(self):
+        check("int a[]; if (true) { a[0] = 1; } else { }")
+
+    def test_subscript_on_scalar(self):
+        with pytest.raises(SwiftTypeError, match="non-array"):
+            check("int x; int y = x[0];")
+
+    def test_array_index_must_be_int(self):
+        with pytest.raises(SwiftTypeError, match="index must be int"):
+            check('int a[]; int y = a["k"];')
+
+    def test_foreach_needs_iterable(self):
+        with pytest.raises(SwiftTypeError, match="array or range"):
+            check("int x; foreach v in x { }")
+
+    def test_range_bounds_must_be_int(self):
+        with pytest.raises(SwiftTypeError, match="bounds must be int"):
+            check("foreach i in [0:1.5] { }")
+
+    def test_discarded_outputs_rejected(self):
+        with pytest.raises(SwiftTypeError, match="discards"):
+            check("(int o) f(int x) { o = x; } f(1);")
+
+    def test_multi_output_in_expression_rejected(self):
+        with pytest.raises(SwiftTypeError, match="outputs"):
+            check(
+                "(int a, int b) f(int x) { a = x; b = x; } "
+                "int y = f(1) + 1;"
+            )
+
+    def test_whole_array_assign_from_non_call(self):
+        with pytest.raises(SwiftTypeError, match="whole-array"):
+            check("int a[]; int b[]; b = a;")
+
+    def test_loop_variable_scoping(self):
+        check("foreach i in [0:3] { printf(\"%i\", i); }")
+        with pytest.raises(SwiftNameError):
+            check("foreach i in [0:3] { } printf(\"%i\", i);")
+
+    def test_boolean_ops_need_booleans(self):
+        with pytest.raises(SwiftTypeError):
+            check("boolean b = 1 && 2;")
+        check("boolean b = (1 < 2) && true;")
+
+    def test_app_output_restrictions(self):
+        with pytest.raises(SwiftTypeError, match="app output"):
+            check('app (int o) bad() { "true" }')
+        check('app (string o) ok() { "true" }')
+
+    def test_size_needs_array(self):
+        with pytest.raises(SwiftTypeError):
+            check("int x; int n = size(x);")
+        check("int a[]; int n = size(a);")
+
+    def test_duplicate_function_definition(self):
+        with pytest.raises(SwiftNameError, match="already defined"):
+            check("(int o) f(int x) { o = x; } (int o) f(int y) { o = y; }")

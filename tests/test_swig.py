@@ -1,0 +1,283 @@
+"""The SWIG/FortWrap binding pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.interlang import register_blobutils
+from repro.swig import (
+    CParseError,
+    FortranError,
+    NativeLibrary,
+    install_package,
+    parse_header,
+    register_library,
+    translate_fortran,
+)
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture()
+def tcl():
+    it = Interp()
+    it.echo = False
+    register_blobutils(it)
+    return it
+
+
+class TestCParse:
+    def test_simple_function(self):
+        (f,) = parse_header("int add(int a, int b);")
+        assert f.name == "add"
+        assert str(f.ret) == "int"
+        assert [str(p.ctype) for p in f.params] == ["int", "int"]
+
+    def test_pointer_types(self):
+        (f,) = parse_header("double dot(const double* a, double *b, int n);")
+        assert f.params[0].ctype.pointers == 1
+        assert f.params[0].ctype.const
+        assert f.params[1].ctype.pointers == 1
+
+    def test_char_star_is_string(self):
+        (f,) = parse_header("const char* greet(const char* name);")
+        assert f.ret.is_string
+        assert f.params[0].ctype.is_string
+
+    def test_void_params(self):
+        (f,) = parse_header("int version(void);")
+        assert f.params == ()
+
+    def test_void_return(self):
+        (f,) = parse_header("void run(double* x, int n);")
+        assert f.ret.is_void
+
+    def test_comments_and_preprocessor_skipped(self):
+        funcs = parse_header(
+            """
+            #include <math.h>
+            /* block
+               comment */
+            // line comment
+            int f(int x); // trailing
+            """
+        )
+        assert len(funcs) == 1
+
+    def test_extern_c_block(self):
+        funcs = parse_header('extern "C" { int f(int x); int g(int y); }')
+        assert [f.name for f in funcs] == ["f", "g"]
+
+    def test_typedef_resolution(self):
+        funcs = parse_header("typedef double real8; real8 f(real8 x);")
+        assert str(funcs[0].ret) == "double"
+
+    def test_unnamed_params_get_names(self):
+        (f,) = parse_header("int f(int, double);")
+        assert [p.name for p in f.params] == ["arg0", "arg1"]
+
+    def test_integer_width_normalization(self):
+        (f,) = parse_header("int64_t f(size_t n, unsigned k);")
+        assert str(f.ret) == "int"
+        assert all(str(p.ctype) == "int" for p in f.params)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(CParseError):
+            parse_header("widget f(widget w);")
+
+    def test_variable_declarations_ignored(self):
+        assert parse_header("int global_counter; int f(int x);")[0].name == "f"
+
+
+class TestFortWrap:
+    def test_subroutine(self):
+        hdr = translate_fortran(
+            """
+            subroutine scale(x, n, f)
+              real(8), intent(inout) :: x(n)
+              integer, intent(in) :: n
+              real(8), intent(in) :: f
+            end subroutine
+            """
+        )
+        assert "void scale(double* x, int n, double f);" in hdr
+
+    def test_function_with_result(self):
+        hdr = translate_fortran(
+            """
+            function norm2(v, n) result(r)
+              real(8), intent(in) :: v(n)
+              integer, intent(in) :: n
+              real(8) :: r
+            end function
+            """
+        )
+        assert "double norm2(double* v, int n);" in hdr
+
+    def test_intent_out_scalar_becomes_pointer(self):
+        hdr = translate_fortran(
+            """
+            subroutine stats(x, n, total)
+              real(8), intent(in) :: x(n)
+              integer, intent(in) :: n
+              real(8), intent(out) :: total
+            end subroutine
+            """
+        )
+        assert "double* total" in hdr
+
+    def test_character_arg(self):
+        hdr = translate_fortran(
+            """
+            subroutine hello(msg)
+              character(len=*), intent(in) :: msg
+            end subroutine
+            """
+        )
+        assert "char* msg" in hdr
+
+    def test_output_parses_as_c(self):
+        hdr = translate_fortran(
+            """
+            subroutine go(a, b, n)
+              integer, intent(in) :: n
+              real(8), intent(in) :: a(n)
+              real(8), intent(out) :: b(n)
+            end subroutine
+            """
+        )
+        funcs = parse_header(hdr)
+        assert funcs[0].name == "go"
+
+    def test_missing_declaration_raises(self):
+        with pytest.raises(FortranError):
+            translate_fortran("subroutine f(x)\nend subroutine")
+
+    def test_no_functions_raises(self):
+        with pytest.raises(FortranError):
+            translate_fortran("program main\nend program")
+
+
+def _demo_lib() -> NativeLibrary:
+    lib = NativeLibrary("demo")
+
+    @lib.function("int add(int a, int b);")
+    def add(a, b):
+        return a + b
+
+    @lib.function("double arr_sum(double* x, int n);")
+    def arr_sum(x, n):
+        return float(np.sum(x[:n]))
+
+    @lib.function("void arr_scale(double* x, int n, double f);")
+    def arr_scale(x, n, f):
+        x[:n] *= f
+
+    @lib.function("const char* greet(const char* name);")
+    def greet(name):
+        return "hello " + name
+
+    return lib
+
+
+class TestBindings:
+    def test_scalar_call(self, tcl):
+        register_library(tcl, _demo_lib())
+        assert tcl.eval("demo::add 40 2") == "42"
+
+    def test_string_call(self, tcl):
+        register_library(tcl, _demo_lib())
+        assert tcl.eval("demo::greet world") == "hello world"
+
+    def test_blob_pointer_arg(self, tcl):
+        register_library(tcl, _demo_lib())
+        out = tcl.eval(
+            "set h [ blobutils::create_floats 1.0 2.0 3.5 ]\n"
+            "demo::arr_sum $h 3"
+        )
+        assert out == "6.5"
+
+    def test_in_place_mutation_visible(self, tcl):
+        register_library(tcl, _demo_lib())
+        out = tcl.eval(
+            "set h [ blobutils::create_floats 1.0 2.0 ]\n"
+            "demo::arr_scale $h 2 10.0\n"
+            "blobutils::to_list $h"
+        )
+        assert out == "10.0 20.0"
+
+    def test_wrong_arg_count(self, tcl):
+        register_library(tcl, _demo_lib())
+        with pytest.raises(TclError, match="wrong # args"):
+            tcl.eval("demo::add 1")
+
+    def test_non_numeric_scalar(self, tcl):
+        register_library(tcl, _demo_lib())
+        with pytest.raises(TclError, match="expected int"):
+            tcl.eval("demo::add x 1")
+
+    def test_bad_pointer_handle(self, tcl):
+        register_library(tcl, _demo_lib())
+        with pytest.raises(TclError, match="pointer handle"):
+            tcl.eval("demo::arr_sum bogus 1")
+
+    def test_native_exception_surfaces(self, tcl):
+        lib = NativeLibrary("bad")
+
+        @lib.function("int crash(int x);")
+        def crash(x):
+            raise ZeroDivisionError("inside native code")
+
+        register_library(tcl, lib)
+        with pytest.raises(TclError, match="inside native code"):
+            tcl.eval("bad::crash 1")
+
+    def test_package_require_lazy_load(self, tcl):
+        install_package(tcl, _demo_lib())
+        assert tcl.lookup_command("demo::add") is None
+        tcl.eval("package require demo")
+        assert tcl.eval("demo::add 1 2") == "3"
+
+    def test_call_counter(self, tcl):
+        lib = _demo_lib()
+        register_library(tcl, lib)
+        tcl.eval("demo::add 1 2")
+        tcl.eval("demo::add 3 4")
+        assert lib.functions["add"].calls == 2
+
+    def test_pointer_return_becomes_blob(self, tcl):
+        lib = NativeLibrary("gen")
+
+        @lib.function("double* make_range(int n);")
+        def make_range(n):
+            return np.arange(n, dtype=np.float64)
+
+        register_library(tcl, lib)
+        out = tcl.eval("blobutils::to_list [ gen::make_range 4 ]")
+        assert out == "0.0 1.0 2.0 3.0"
+
+    def test_full_fortran_pipeline(self, tcl):
+        """Fortran -> FortWrap -> C header -> SWIG -> Tcl (Fig. 3 + §III-B)."""
+        hdr = translate_fortran(
+            """
+            function dotp(a, b, n) result(d)
+              real(8), intent(in) :: a(n), b(n)
+              integer, intent(in) :: n
+              real(8) :: d
+            end function
+            """
+        )
+        lib = NativeLibrary("flib")
+        lib.add_header(hdr, {"dotp": lambda a, b, n: float(np.dot(a[:n], b[:n]))})
+        register_library(tcl, lib)
+        out = tcl.eval(
+            "set a [ blobutils::create_floats 1.0 2.0 3.0 ]\n"
+            "set b [ blobutils::create_floats 4.0 5.0 6.0 ]\n"
+            "flib::dotp $a $b 3"
+        )
+        assert out == "32.0"
+
+    def test_missing_impl_raises(self):
+        lib = NativeLibrary("x")
+        with pytest.raises(Exception, match="no implementation"):
+            lib.add_header("int f(int a);", {})

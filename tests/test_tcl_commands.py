@@ -1,0 +1,241 @@
+"""List, string, dict, and misc command ensembles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcl import Interp, TclError
+
+
+class TestListCommands:
+    def test_list_quotes_specials(self, tcl):
+        assert tcl.eval('list a "b c" {}') == "a {b c} {}"
+
+    def test_lindex(self, tcl):
+        assert tcl.eval("lindex {a b c} 1") == "b"
+        assert tcl.eval("lindex {a b c} end") == "c"
+        assert tcl.eval("lindex {a b c} end-1") == "b"
+        assert tcl.eval("lindex {a b c} 99") == ""
+
+    def test_lindex_nested(self, tcl):
+        assert tcl.eval("lindex {{a b} {c d}} 1 0") == "c"
+
+    def test_llength(self, tcl):
+        assert tcl.eval("llength {a {b c} d}") == "3"
+
+    def test_lappend_var(self, tcl):
+        tcl.eval("set l {a}")
+        assert tcl.eval('lappend l "b c" d') == "a {b c} d"
+
+    def test_lrange(self, tcl):
+        assert tcl.eval("lrange {a b c d e} 1 3") == "b c d"
+        assert tcl.eval("lrange {a b c} 2 end") == "c"
+        assert tcl.eval("lrange {a b c} 2 1") == ""
+
+    def test_linsert(self, tcl):
+        assert tcl.eval("linsert {a c} 1 b") == "a b c"
+        assert tcl.eval("linsert {a b} end c") == "a b c"
+
+    def test_lreplace(self, tcl):
+        assert tcl.eval("lreplace {a b c d} 1 2 X Y Z") == "a X Y Z d"
+        assert tcl.eval("lreplace {a b c} 1 1") == "a c"
+
+    def test_lsearch(self, tcl):
+        assert tcl.eval("lsearch {a b c} b") == "1"
+        assert tcl.eval("lsearch {a b c} z") == "-1"
+        assert tcl.eval("lsearch -glob {foo bar baz} ba*") == "1"
+        assert tcl.eval("lsearch -all -glob {foo bar baz} ba*") == "1 2"
+        assert tcl.eval("lsearch -exact {a* b} a*") == "0"
+
+    def test_lsort(self, tcl):
+        assert tcl.eval("lsort {b c a}") == "a b c"
+        assert tcl.eval("lsort -integer {10 9 100}") == "9 10 100"
+        assert tcl.eval("lsort -decreasing {a c b}") == "c b a"
+        assert tcl.eval("lsort -unique {b a b}") == "a b"
+
+    def test_lassign_returns_remainder(self, tcl):
+        assert tcl.eval("lassign {1 2 3 4} a b") == "3 4"
+        assert tcl.eval("list $a $b") == "1 2"
+
+    def test_lassign_pads_missing(self, tcl):
+        tcl.eval("lassign {1} a b")
+        assert tcl.eval('list $a "$b"') == "1 {}"
+
+    def test_lreverse_lrepeat(self, tcl):
+        assert tcl.eval("lreverse {a b c}") == "c b a"
+        assert tcl.eval("lrepeat 3 x y") == "x y x y x y"
+
+    def test_concat(self, tcl):
+        assert tcl.eval("concat {a b} {} {c}") == "a b c"
+
+    def test_lmap(self, tcl):
+        assert tcl.eval("lmap x {1 2 3} { expr {$x * $x} }") == "1 4 9"
+
+
+class TestStringCommands:
+    def test_length_index_range(self, tcl):
+        assert tcl.eval("string length héllo") == "5"
+        assert tcl.eval("string index hello 1") == "e"
+        assert tcl.eval("string range hello 1 3") == "ell"
+        assert tcl.eval("string range hello 3 end") == "lo"
+
+    def test_case_ops(self, tcl):
+        assert tcl.eval("string toupper aBc") == "ABC"
+        assert tcl.eval("string tolower aBc") == "abc"
+        assert tcl.eval("string totitle hello") == "Hello"
+
+    def test_trim_family(self, tcl):
+        assert tcl.eval('string trim "  x  "') == "x"
+        assert tcl.eval("string trim xxayyxx x") == "ayy"
+        assert tcl.eval('string trimleft "  x "') == "x "
+        assert tcl.eval('string trimright " x  "') == " x"
+
+    def test_equal_compare_match(self, tcl):
+        assert tcl.eval("string equal a a") == "1"
+        assert tcl.eval("string equal -nocase AB ab") == "1"
+        assert tcl.eval("string compare a b") == "-1"
+        assert tcl.eval("string match *.txt file.txt") == "1"
+        assert tcl.eval("string match a?c abc") == "1"
+
+    def test_first_last(self, tcl):
+        assert tcl.eval("string first l hello") == "2"
+        assert tcl.eval("string last l hello") == "3"
+        assert tcl.eval("string first z hello") == "-1"
+
+    def test_repeat_reverse_replace(self, tcl):
+        assert tcl.eval("string repeat ab 3") == "ababab"
+        assert tcl.eval("string reverse abc") == "cba"
+        assert tcl.eval("string replace hello 1 3 XYZ") == "hXYZo"
+
+    def test_map(self, tcl):
+        assert tcl.eval("string map {a 1 b 2} abcab") == "12c12"
+
+    def test_is_classes(self, tcl):
+        assert tcl.eval("string is integer 42") == "1"
+        assert tcl.eval("string is integer 4.2") == "0"
+        assert tcl.eval("string is double 4.2") == "1"
+        assert tcl.eval("string is alpha abc") == "1"
+        assert tcl.eval("string is digit 123") == "1"
+
+    def test_format(self, tcl):
+        assert tcl.eval('format "%d-%s-%.2f" 42 x 3.14159') == "42-x-3.14"
+        assert tcl.eval('format "%05d" 42') == "00042"
+        assert tcl.eval('format "%x" 255') == "ff"
+        assert tcl.eval('format "%%"') == "%"
+        assert tcl.eval('format "%c" 65') == "A"
+
+    def test_format_missing_args_raises(self, tcl):
+        with pytest.raises(TclError):
+            tcl.eval('format "%d %d" 1')
+
+    def test_split_join(self, tcl):
+        assert tcl.eval("split a,b,,c ,") == "a b {} c"
+        assert tcl.eval("split abc {}") == "a b c"
+        assert tcl.eval("join {a b c} -") == "a-b-c"
+
+    def test_regexp(self, tcl):
+        assert tcl.eval(r'regexp {\d+} "abc 123"') == "1"
+        tcl.eval(r'regexp {(\d+)-(\d+)} "id 12-34" full a b')
+        assert tcl.eval("list $full $a $b") == "12-34 12 34"
+        assert tcl.eval(r'regexp -inline -all {\d+} "1 22 333"') == "1 22 333"
+
+    def test_regsub(self, tcl):
+        assert tcl.eval(r'regsub -all {\d} a1b2 X') == "aXbX"
+        assert tcl.eval(r'regsub {(a+)} baaad <&>') == "b<aaa>d"
+
+
+class TestDictCommands:
+    def test_create_get(self, tcl):
+        tcl.eval("set d [dict create a 1 b 2]")
+        assert tcl.eval("dict get $d a") == "1"
+
+    def test_set_preserves_order(self, tcl):
+        tcl.eval("set d {}; dict set d k1 v1; dict set d k2 v2; dict set d k1 v9")
+        assert tcl.eval("dict keys $d") == "k1 k2"
+        assert tcl.eval("dict get $d k1") == "v9"
+
+    def test_nested_get_set(self, tcl):
+        tcl.eval("set d {}; dict set d outer inner 42")
+        assert tcl.eval("dict get $d outer inner") == "42"
+
+    def test_exists_unset(self, tcl):
+        tcl.eval("set d [dict create a 1]")
+        assert tcl.eval("dict exists $d a") == "1"
+        assert tcl.eval("dict exists $d z") == "0"
+        tcl.eval("dict unset d a")
+        assert tcl.eval("dict exists $d a") == "0"
+
+    def test_keys_values_size(self, tcl):
+        tcl.eval("set d [dict create a 1 b 2 c 3]")
+        assert tcl.eval("dict size $d") == "3"
+        assert tcl.eval("dict values $d") == "1 2 3"
+        assert tcl.eval("dict keys $d b*") == "b"
+
+    def test_merge(self, tcl):
+        assert tcl.eval("dict merge {a 1 b 2} {b 9 c 3}") == "a 1 b 9 c 3"
+
+    def test_incr_lappend_append(self, tcl):
+        tcl.eval("set d {}")
+        tcl.eval("dict incr d hits; dict incr d hits 4")
+        assert tcl.eval("dict get $d hits") == "5"
+        tcl.eval("dict lappend d l x; dict lappend d l y")
+        assert tcl.eval("dict get $d l") == "x y"
+        tcl.eval("dict append d s ab; dict append d s cd")
+        assert tcl.eval("dict get $d s") == "abcd"
+
+    def test_for(self, tcl):
+        tcl.eval(
+            "set out {}; dict for {k v} {a 1 b 2} { lappend out $k=$v }"
+        )
+        assert tcl.eval("set out") == "a=1 b=2"
+
+    def test_missing_key_raises(self, tcl):
+        with pytest.raises(TclError):
+            tcl.eval("dict get {a 1} z")
+
+    def test_odd_dict_raises(self, tcl):
+        with pytest.raises(TclError):
+            tcl.eval("dict get {a 1 b} a")
+
+
+class TestMiscCommands:
+    def test_puts_captured(self, tcl):
+        tcl.eval("puts hello")
+        assert tcl.stdout == ["hello"]
+
+    def test_info_commands_procs(self, tcl):
+        tcl.eval("proc userproc {} {}")
+        assert "userproc" in tcl.eval("info procs userproc")
+        assert "set" in tcl.eval("info commands set")
+
+    def test_info_args_body(self, tcl):
+        tcl.eval("proc f {a b} { return $a$b }")
+        assert tcl.eval("info args f") == "a b"
+        assert "return" in tcl.eval("info body f")
+
+    def test_info_level(self, tcl):
+        tcl.eval("proc depth {} { info level }")
+        assert tcl.eval("depth") == "1"
+
+    def test_clock_monotonicity(self, tcl):
+        t1 = int(tcl.eval("clock microseconds"))
+        t2 = int(tcl.eval("clock microseconds"))
+        assert t2 >= t1
+
+    def test_time_command(self, tcl):
+        out = tcl.eval("time {set x 1} 5")
+        assert "microseconds per iteration" in out
+
+
+# property: lsort -integer agrees with Python sorting
+@given(st.lists(st.integers(min_value=-10_000, max_value=10_000), max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_property_lsort_matches_python(values):
+    tcl = Interp()
+    tcl.echo = False
+    joined = " ".join(str(v) for v in values)
+    got = tcl.eval("lsort -integer {%s}" % joined)
+    want = " ".join(str(v) for v in sorted(values))
+    assert got == want

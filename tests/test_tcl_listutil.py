@@ -1,0 +1,110 @@
+"""Tcl list parsing/formatting, including property-based round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcl.listutil import format_element, format_list, parse_list
+
+
+class TestParseList:
+    def test_empty(self):
+        assert parse_list("") == []
+        assert parse_list("   \t\n ") == []
+
+    def test_simple_words(self):
+        assert parse_list("a b c") == ["a", "b", "c"]
+
+    def test_extra_whitespace(self):
+        assert parse_list("  a\t\tb \n c ") == ["a", "b", "c"]
+
+    def test_braced_element(self):
+        assert parse_list("a {b c} d") == ["a", "b c", "d"]
+
+    def test_nested_braces(self):
+        assert parse_list("{a {b c}} d") == ["a {b c}", "d"]
+
+    def test_quoted_element(self):
+        assert parse_list('a "b c" d') == ["a", "b c", "d"]
+
+    def test_quoted_with_escape(self):
+        assert parse_list(r'"a\tb"') == ["a\tb"]
+
+    def test_bare_backslash_escape(self):
+        assert parse_list(r"a\ b") == ["a b"]
+
+    def test_empty_braced(self):
+        assert parse_list("{} a") == ["", "a"]
+
+    def test_unbalanced_brace_raises(self):
+        with pytest.raises(ValueError):
+            parse_list("{a b")
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(ValueError):
+            parse_list('"abc')
+
+    def test_brace_followed_by_text_raises(self):
+        with pytest.raises(ValueError):
+            parse_list("{a}b")
+
+    def test_backslash_inside_braces_preserved(self):
+        assert parse_list(r"{a\nb}") == [r"a\nb"]
+
+
+class TestFormatElement:
+    def test_plain(self):
+        assert format_element("abc") == "abc"
+
+    def test_empty(self):
+        assert format_element("") == "{}"
+
+    def test_space(self):
+        assert format_element("a b") == "{a b}"
+
+    def test_dollar_braced(self):
+        assert format_element("$x") == "{$x}"
+
+    def test_unbalanced_brace_backslashed(self):
+        out = format_element("a{b")
+        assert parse_list(out) == ["a{b"]
+
+    def test_trailing_backslash(self):
+        out = format_element("a\\")
+        assert parse_list(out) == ["a\\"]
+
+
+class TestFormatList:
+    def test_round_trip_simple(self):
+        items = ["a", "b c", "", "{x}", "$v", "[cmd]"]
+        assert parse_list(format_list(items)) == items
+
+    def test_nested_list(self):
+        inner = format_list(["1", "2 3"])
+        outer = format_list(["head", inner])
+        parsed = parse_list(outer)
+        assert parsed[0] == "head"
+        assert parse_list(parsed[1]) == ["1", "2 3"]
+
+
+# printable text without NUL; Tcl lists cannot contain NUL cleanly
+_element = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    max_size=30,
+)
+
+
+@given(st.lists(_element, max_size=12))
+@settings(max_examples=300, deadline=None)
+def test_property_round_trip(items):
+    assert parse_list(format_list(items)) == items
+
+
+@given(st.lists(_element, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_property_double_format_stable(items):
+    once = format_list(items)
+    twice = format_list(parse_list(once))
+    assert parse_list(twice) == items

@@ -1,0 +1,252 @@
+"""Turbine runtime: hand-written Tcl programs over the full stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.launcher import RankFailure
+from repro.turbine import RuntimeConfig, run_turbine_program
+
+
+def run(program: str, size: int = 4, **kw) -> list[str]:
+    res = run_turbine_program(program, RuntimeConfig(size=size, **kw))
+    return sorted(res.stdout_lines)
+
+
+class TestRules:
+    def test_rule_with_no_inputs_fires(self):
+        out = run(
+            "proc swift:main {} {\n"
+            "  turbine::rule [ list ] { turbine::log_output go } LOCAL\n"
+            "}\n"
+        )
+        assert out == ["go"]
+
+    def test_rule_waits_for_input(self):
+        out = run(
+            "proc swift:main {} {\n"
+            "  set td [ turbine::allocate integer ]\n"
+            "  turbine::rule [ list $td ] [ list report $td ] LOCAL\n"
+            "  turbine::store_integer $td 5\n"
+            "}\n"
+            "proc report { td } {\n"
+            "  turbine::log_output \"value [ turbine::retrieve $td ]\"\n"
+            "}\n"
+        )
+        assert out == ["value 5"]
+
+    def test_chained_rules(self):
+        out = run(
+            "proc swift:main {} {\n"
+            "  set a [ turbine::allocate integer ]\n"
+            "  set b [ turbine::allocate integer ]\n"
+            "  turbine::rule [ list $a ] [ list step $a $b ] LOCAL\n"
+            "  turbine::rule [ list $b ] [ list fin $b ] LOCAL\n"
+            "  turbine::store_integer $a 1\n"
+            "}\n"
+            "proc step { a b } {\n"
+            "  turbine::store_integer $b [ expr { [ turbine::retrieve $a ] + 1 } ]\n"
+            "}\n"
+            "proc fin { b } { turbine::log_output \"b=[ turbine::retrieve $b ]\" }\n"
+        )
+        assert out == ["b=2"]
+
+    def test_work_task_runs_on_worker(self):
+        out = run(
+            "proc swift:main {} {\n"
+            "  turbine::rule [ list ] { turbine::log_output \"role [ turbine::role ]\" } WORK\n"
+            "}\n"
+        )
+        assert out == ["role worker"]
+
+    def test_local_rule_runs_on_engine(self):
+        out = run(
+            "proc swift:main {} {\n"
+            "  turbine::rule [ list ] { turbine::log_output \"role [ turbine::role ]\" } LOCAL\n"
+            "}\n"
+        )
+        assert out == ["role engine"]
+
+    def test_many_parallel_work_tasks(self):
+        out = run(
+            "proc swift:main {} {\n"
+            "  for { set i 0 } { $i < 30 } { incr i } {\n"
+            "    turbine::spawn WORK [ list emit $i ]\n"
+            "  }\n"
+            "}\n"
+            "proc emit { i } { turbine::log_output \"t$i\" }\n",
+            size=6,
+        )
+        assert out == sorted("t%d" % i for i in range(30))
+
+    def test_bad_rule_type_rejected(self):
+        with pytest.raises(RankFailure, match="bad rule type"):
+            run(
+                "proc swift:main {} { turbine::rule [ list ] { } BOGUS }\n"
+            )
+
+    def test_rule_unavailable_on_worker(self):
+        with pytest.raises(RankFailure, match="only available on engine"):
+            run(
+                "proc swift:main {} {\n"
+                "  turbine::spawn WORK { turbine::rule [ list ] { } LOCAL }\n"
+                "}\n"
+            )
+
+
+class TestDataOps:
+    def test_container_insert_enumerate(self):
+        out = run(
+            "proc swift:main {} {\n"
+            "  set c [ turbine::allocate_container 3 ]\n"
+            "  set m1 [ turbine::allocate integer ]\n"
+            "  set m2 [ turbine::allocate integer ]\n"
+            "  turbine::store_integer $m1 10\n"
+            "  turbine::store_integer $m2 20\n"
+            "  turbine::container_insert $c 0 $m1\n"
+            "  turbine::container_insert $c 1 $m2\n"
+            "  turbine::rule [ list $c ] [ list dump $c ] LOCAL\n"
+            "  turbine::write_refcount_decr $c 1\n"
+            "}\n"
+            "proc dump { c } {\n"
+            "  set subs [ lsort -integer [ turbine::enumerate $c ] ]\n"
+            "  turbine::log_output \"subs $subs\"\n"
+            "}\n"
+        )
+        assert out == ["subs 0 1"]
+
+    def test_container_reference_deref(self):
+        out = run(
+            "proc swift:main {} {\n"
+            "  set c [ turbine::allocate_container 2 ]\n"
+            "  set r [ turbine::allocate ref ]\n"
+            "  set v [ turbine::allocate integer ]\n"
+            "  turbine::container_reference $c k $r\n"
+            "  turbine::deref_store $v $r\n"
+            "  turbine::rule [ list $v ] [ list out $v ] LOCAL\n"
+            "  set m [ turbine::allocate integer ]\n"
+            "  turbine::store_integer $m 99\n"
+            "  turbine::container_insert $c k $m\n"
+            "  turbine::write_refcount_decr $c 1\n"
+            "}\n"
+            "proc out { v } { turbine::log_output [ turbine::retrieve $v ] }\n"
+        )
+        assert out == ["99"]
+
+    def test_blob_through_datastore(self):
+        out = run(
+            "proc swift:main {} {\n"
+            "  set b [ turbine::allocate blob ]\n"
+            "  turbine::rule [ list ] [ list produce $b ] WORK\n"
+            "  turbine::rule [ list $b ] [ list consume $b ] WORK\n"
+            "}\n"
+            "proc produce { b } {\n"
+            "  turbine::store_blob $b [ blobutils::from_string payload ]\n"
+            "}\n"
+            "proc consume { b } {\n"
+            "  set h [ turbine::retrieve $b ]\n"
+            "  turbine::log_output [ blobutils::to_string $h ]\n"
+            "}\n"
+        )
+        assert out == ["payload"]
+
+    def test_copy_value_preserves_type(self):
+        out = run(
+            "proc swift:main {} {\n"
+            "  set a [ turbine::allocate float ]\n"
+            "  set b [ turbine::allocate float ]\n"
+            "  turbine::store_float $a 2.5\n"
+            "  turbine::copy_td $b $a\n"
+            "  turbine::rule [ list $b ] [ list out $b ] LOCAL\n"
+            "}\n"
+            "proc out { b } { turbine::log_output [ turbine::retrieve $b ] }\n"
+        )
+        assert out == ["2.5"]
+
+    def test_retrieve_unset_is_error(self):
+        with pytest.raises(RankFailure, match="before set"):
+            run(
+                "proc swift:main {} {\n"
+                "  set td [ turbine::allocate integer ]\n"
+                "  turbine::log_output [ turbine::retrieve $td ]\n"
+                "}\n"
+            )
+
+
+class TestRuntimeBehavior:
+    def test_multi_engine_control_distribution(self):
+        res = run_turbine_program(
+            "proc swift:main {} {\n"
+            "  for { set i 0 } { $i < 20 } { incr i } {\n"
+            "    turbine::spawn CONTROL [ list cbody $i ]\n"
+            "  }\n"
+            "}\n"
+            "proc cbody { i } { turbine::log_output \"c$i\" }\n",
+            RuntimeConfig(size=6, n_engines=2),
+        )
+        assert sorted(res.stdout_lines) == sorted("c%d" % i for i in range(20))
+        # at least one control task should land on the second engine
+        assert sum(e.control_tasks_run for e in res.engine_stats) == 20
+
+    def test_engine_stats(self):
+        res = run_turbine_program(
+            "proc swift:main {} {\n"
+            "  set td [ turbine::allocate integer ]\n"
+            "  turbine::rule [ list $td ] { turbine::noop } LOCAL\n"
+            "  turbine::store_integer $td 1\n"
+            "}\n",
+            RuntimeConfig(size=4),
+        )
+        stats = res.engine_stats[0]
+        assert stats.rules_created == 1
+        assert stats.notifications == 1
+        assert stats.rules_fired_local == 1
+
+    def test_interp_state_persists_on_worker(self):
+        """Worker Tcl interps are retained across tasks (paper §III-C)."""
+        res = run_turbine_program(
+            "proc swift:main {} {\n"
+            "  turbine::spawn WORK { python::persist {n = 10} {} } 10\n"
+            "  turbine::spawn WORK { turbine::log_output [ python::persist {n += 1} {n} ] } 0\n"
+            "}\n",
+            RuntimeConfig(size=3),  # single worker: tasks run in order
+        )
+        assert res.stdout_lines == ["11"]
+
+    def test_reinit_mode_clears_worker_state(self):
+        with pytest.raises(RankFailure, match="NameError"):
+            run_turbine_program(
+                "proc swift:main {} {\n"
+                "  turbine::spawn WORK { python::eval {n = 10} {} } 10\n"
+                "  turbine::spawn WORK { turbine::log_output [ python::eval {} {n} ] } 0\n"
+                "}\n",
+                RuntimeConfig(size=3, interp_mode="reinit"),
+            )
+
+    def test_output_collects_across_ranks(self):
+        res = run_turbine_program(
+            "proc swift:main {} {\n"
+            "  turbine::spawn WORK { turbine::log_output from-worker }\n"
+            "  turbine::log_output from-engine\n"
+            "}\n",
+            RuntimeConfig(size=4),
+        )
+        assert sorted(res.stdout_lines) == ["from-engine", "from-worker"]
+        ranks = {rank for rank, _ in res.output.lines}
+        assert len(ranks) == 2
+
+    def test_worker_error_reports_failure(self):
+        with pytest.raises(RankFailure, match="invalid command"):
+            run(
+                "proc swift:main {} { turbine::spawn WORK { nonsense_cmd } }\n"
+            )
+
+    def test_dangling_future_times_out(self):
+        with pytest.raises(RankFailure):
+            run_turbine_program(
+                "proc swift:main {} {\n"
+                "  set td [ turbine::allocate integer ]\n"
+                "  turbine::rule [ list $td ] { turbine::noop } LOCAL\n"
+                "}\n",  # td never stored -> deadlock -> timeout
+                RuntimeConfig(size=3, recv_timeout=1.0),
+            )
