@@ -54,12 +54,8 @@ def test_fig1_dependency_structure(benchmark):
     """g(t) never starts before its own f(t) finishes, but pipelines overlap."""
 
     def run():
-        res = swift_run(FIG1_PROGRAM, workers=4, record_spans=True)
-        spans = sorted(
-            (t0, t1)
-            for w in res.worker_stats
-            for (t0, t1) in w.task_spans
-        )
+        res = swift_run(FIG1_PROGRAM, workers=4, trace=True)
+        spans = sorted((e.t, e.end) for e in res.trace.spans("task"))
         # 16 tasks; at least two must overlap in time (parallel pipelines)
         overlaps = sum(
             1

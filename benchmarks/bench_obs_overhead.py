@@ -1,0 +1,59 @@
+"""OBS — overhead of the repro.obs tracing layer.
+
+Two claims guarded here:
+
+1. **Zero-cost when disabled** (the tier-1 guard): with ``trace=False``
+   every instrumented call site reduces to a ``tracer is None`` test,
+   so a traced-off run of the quickstart program must stay within noise
+   of the seed timing recorded in ``conftest.QUICKSTART_SEED_S``.
+2. **Bounded cost when enabled**: tracing is a ring-buffer append per
+   event; a traced run of the same program must not blow up the wall
+   time (generous 10x bound — it is far lower in practice).
+"""
+
+from __future__ import annotations
+
+from conftest import assert_within_seed_noise, series
+
+from repro import swift_run
+
+# Trimmed quickstart: same shape (dataflow foreach + embedded Python
+# leaf tasks), no subprocess spawn so rounds stay fast and stable.
+QUICKSTART = """
+(int o) square(int x) {
+    o = x * x;
+}
+int squares[];
+foreach i in [0:9] {
+    squares[i] = square(i);
+}
+printf("sum of squares 0..9 = %i", sum_integer(squares));
+string py = python("import math; v = math.factorial(10)", "v");
+printf("python says 10! = %s", py);
+"""
+
+
+def run_quickstart(**options):
+    res = swift_run(QUICKSTART, workers=4, **options)
+    assert "sum of squares 0..9 = 285" in res.stdout
+    assert "3628800" in res.stdout
+    return res
+
+
+def test_traced_off_within_seed_noise(benchmark):
+    """Tier-1 guard: the no-op fast path must not regress the seed."""
+    benchmark.pedantic(run_quickstart, rounds=5, iterations=1, warmup_rounds=1)
+    series(benchmark, traced=False)
+    assert_within_seed_noise(benchmark.stats.stats.mean)
+
+
+def test_traced_on_bounded_overhead(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_quickstart(trace=True),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    series(benchmark, traced=True, events=len(res.trace))
+    assert len(res.trace) > 0
+    assert_within_seed_noise(benchmark.stats.stats.mean, seed_s=0.16 * 10)

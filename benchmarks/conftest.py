@@ -2,8 +2,26 @@
 
 from __future__ import annotations
 
+# Seed wall-time of the quickstart program on the tier-1 reference
+# machine, measured before repro.obs instrumentation landed (~0.03-0.16s
+# warm/cold).  The traced-off guard in bench_obs_overhead.py asserts
+# runs stay within NOISE_FACTOR of this, so the zero-cost fast path
+# can't silently regress.
+QUICKSTART_SEED_S = 0.16
+NOISE_FACTOR = 4.0
+
 
 def series(benchmark, **info) -> None:
     """Attach series values to the pytest-benchmark row."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+
+
+def assert_within_seed_noise(mean_s: float, seed_s: float = QUICKSTART_SEED_S) -> None:
+    """Tier-1 guard: a traced-off run must stay within noise of the seed."""
+    budget = seed_s * NOISE_FACTOR
+    assert mean_s < budget, (
+        "traced-off run took %.3fs, over the %.3fs seed-noise budget "
+        "(seed %.3fs x %.1f) — the obs no-op fast path has regressed"
+        % (mean_s, budget, seed_s, NOISE_FACTOR)
+    )

@@ -64,7 +64,7 @@ foreach b, bi in bases {
 
 
 def main() -> None:
-    rt = SwiftRuntime(workers=4, record_spans=True)
+    rt = SwiftRuntime(workers=4, trace=True)
     result = rt.run(PROGRAM)
     hits = sorted(line for line in result.stdout_lines if "HIT" in line)
     print("\n".join(sorted(result.stdout_lines)))
@@ -77,6 +77,8 @@ def main() -> None:
     if max(busy) > 0:
         imbalance = max(busy) / (sum(busy) / len(busy)) - 1
         print("busy-time imbalance: %.1f%% (dynamic load balancing)" % (100 * imbalance))
+    print()
+    print(result.profile.render())
 
 
 if __name__ == "__main__":

@@ -15,24 +15,30 @@ Layers (bottom-up):
 * :mod:`repro.packaging` -- static packages (many-small-files fix)
 * :mod:`repro.launch` -- batch scheduler integration
 * :mod:`repro.simcluster` -- discrete-event large-scale cluster model
+* :mod:`repro.obs` -- unified runtime tracing/metrics layer
 
 Public entry points: :func:`swift_run`, :class:`SwiftRuntime`,
-:func:`compile_swift`.
+:class:`RuntimeConfig`, :func:`compile_swift`; traced runs return a
+:class:`Trace` via ``result.trace`` / ``result.profile``.
 """
 
 from .api import SwiftRuntime, swift_run
 from .core import CompiledProgram, SwiftError, compile_swift
+from .obs import Profile, Trace, Tracer
 from .turbine import RunResult, RuntimeConfig
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "swift_run",
     "SwiftRuntime",
+    "RuntimeConfig",
+    "RunResult",
     "compile_swift",
     "CompiledProgram",
     "SwiftError",
-    "RunResult",
-    "RuntimeConfig",
+    "Trace",
+    "Tracer",
+    "Profile",
     "__version__",
 ]

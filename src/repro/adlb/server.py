@@ -32,8 +32,16 @@ class ParkedGet:
 
 @dataclass
 class ServerStats:
+    """Per-server counter snapshot.
+
+    Kept as the stable ``RunResult.server_stats`` surface; the values
+    are folded into the run's :class:`repro.obs.Metrics` registry
+    (``adlb.*`` counters) when tracing is enabled.
+    """
+
     tasks_queued: int = 0
     tasks_matched: int = 0
+    tasks_matched_targeted: int = 0
     steal_requests: int = 0
     tasks_stolen_in: int = 0
     tasks_stolen_out: int = 0
@@ -42,12 +50,34 @@ class ServerStats:
     idle_polls: int = 0
 
 
+#: client data ops traced as ``adlb``-category instants
+_DATA_OPS = {
+    C.OP_CREATE,
+    C.OP_MULTICREATE,
+    C.OP_STORE,
+    C.OP_RETRIEVE,
+    C.OP_EXISTS,
+    C.OP_SUBSCRIBE,
+    C.OP_CONTAINER_REF,
+    C.OP_ENUMERATE,
+    C.OP_REFCOUNT,
+    C.OP_TYPEOF,
+}
+
+
 class Server:
-    def __init__(self, comm: Comm, layout: Layout, steal: bool = True):
+    def __init__(
+        self,
+        comm: Comm,
+        layout: Layout,
+        steal: bool = True,
+        tracer: Any | None = None,
+    ):
         self.comm = comm
         self.layout = layout
         self.rank = comm.rank
         self.steal_enabled = steal and layout.n_servers > 1
+        self.tracer = tracer
         self.store = DataStore()
         self.queue = WorkQueue()
         self.parked: list[ParkedGet] = []
@@ -85,6 +115,8 @@ class Server:
                 continue
             msg, status = got
             self._dispatch(msg, status.source, status.tag)
+        if self.tracer is not None:
+            self.tracer.metrics.fold_struct("adlb", self.stats, rank=self.rank)
         return self.stats
 
     def _done(self) -> bool:
@@ -114,6 +146,11 @@ class Server:
     # -------------------------------------------------------------- client ops
 
     def _client_op(self, op: str, msg: dict, source: int) -> Any:
+        tracer = self.tracer
+        if tracer is not None and op in _DATA_OPS:
+            tracer.instant(
+                self.rank, "adlb", "data:" + op.lower(), {"client": source}
+            )
         if op == C.OP_PUT:
             task = Task(
                 type=msg["type"],
@@ -121,6 +158,13 @@ class Server:
                 priority=msg.get("priority", 0),
                 target=msg.get("target", -1),
             )
+            if tracer is not None:
+                tracer.instant(
+                    self.rank,
+                    "adlb",
+                    "put",
+                    {"type": task.type, "targeted": task.target >= 0},
+                )
             self._accept_task(task)
             return None
         if op == C.OP_GET:
@@ -131,11 +175,15 @@ class Server:
             types = tuple(msg["types"])
             task = self.queue.pop(types, source)
             if task is not None:
-                self.stats.tasks_matched += 1
+                self._record_match(task)
                 self.comm.send(
                     ("task", task.type, task.payload), source, C.TAG_RESPONSE
                 )
             else:
+                if tracer is not None:
+                    tracer.instant(
+                        self.rank, "adlb", "get_park", {"client": source}
+                    )
                 self.parked.append(ParkedGet(source, types, is_async=False))
                 self._maybe_steal()
             return _NO_REPLY
@@ -147,11 +195,15 @@ class Server:
             types = tuple(msg["types"])
             task = self.queue.pop(types, source)
             if task is not None:
-                self.stats.tasks_matched += 1
+                self._record_match(task)
                 self.comm.send(
                     ("ctask", task.type, task.payload), source, C.TAG_ASYNC
                 )
             else:
+                if tracer is not None:
+                    tracer.instant(
+                        self.rank, "adlb", "get_park", {"client": source}
+                    )
                 self.parked.append(ParkedGet(source, types, is_async=True))
                 self._maybe_steal()
             return _NO_REPLY
@@ -234,15 +286,9 @@ class Server:
                 self._initiate_shutdown()
             return None
         if op == C.OP_STATS:
-            return {
-                "tasks_queued": self.stats.tasks_queued,
-                "tasks_matched": self.stats.tasks_matched,
-                "steal_requests": self.stats.steal_requests,
-                "tasks_stolen_in": self.stats.tasks_stolen_in,
-                "tasks_stolen_out": self.stats.tasks_stolen_out,
-                "data_ops": self.stats.data_ops,
-                "max_queue": self.stats.max_queue,
-            }
+            from dataclasses import asdict
+
+            return asdict(self.stats)
         raise DataStoreError("unknown ADLB op %r" % op)
 
     # --------------------------------------------------------------- server ops
@@ -252,6 +298,10 @@ class Server:
             n = max(1, self.queue.size // 2)
             tasks = self.queue.steal(n) if self.queue.size else []
             self.stats.tasks_stolen_out += len(tasks)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    self.rank, "adlb", "steal_out", {"to": source, "n": len(tasks)}
+                )
             self.comm.send(
                 {"op": C.SOP_STEAL_RESP, "tasks": tasks}, source, C.TAG_SERVER
             )
@@ -260,6 +310,10 @@ class Server:
             self._steal_inflight = False
             tasks = msg["tasks"]
             self.stats.tasks_stolen_in += len(tasks)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    self.rank, "adlb", "steal_in", {"from": source, "n": len(tasks)}
+                )
             for task in tasks:
                 self._accept_task(task)
             # Empty responses retry from the idle tick, not immediately,
@@ -272,11 +326,23 @@ class Server:
 
     # ---------------------------------------------------------------- matching
 
+    def _record_match(self, task: Task) -> None:
+        self.stats.tasks_matched += 1
+        if task.target >= 0:
+            self.stats.tasks_matched_targeted += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.rank,
+                "adlb",
+                "match",
+                {"type": task.type, "targeted": task.target >= 0},
+            )
+
     def _accept_task(self, task: Task) -> None:
         for i, parked in enumerate(self.parked):
             if task.type in parked.types and task.target in (-1, parked.rank):
                 del self.parked[i]
-                self.stats.tasks_matched += 1
+                self._record_match(task)
                 if parked.is_async:
                     self.comm.send(
                         ("ctask", task.type, task.payload),
@@ -325,6 +391,8 @@ class Server:
         self._steal_ring += 1
         self._steal_inflight = True
         self.stats.steal_requests += 1
+        if self.tracer is not None:
+            self.tracer.instant(self.rank, "adlb", "steal_req", {"victim": victim})
         self.comm.send({"op": C.SOP_STEAL_REQ}, victim, C.TAG_SERVER)
 
     def _idle_tick(self) -> None:

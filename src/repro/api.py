@@ -11,57 +11,158 @@ Quickstart::
         }
     ''', workers=4)
     print(result.stdout)
+
+Every runtime knob lives on :class:`RuntimeConfig`; ``swift_run`` and
+:class:`SwiftRuntime` accept a ``config=`` plus keyword overrides that
+are validated by :meth:`RuntimeConfig.with_options` (unknown names
+raise ``TypeError``).  For repeated runs, use the session form — one
+compiled-program cache and one trace sink across runs::
+
+    from repro import RuntimeConfig, SwiftRuntime
+
+    cfg = RuntimeConfig.of(workers=4, trace=True)
+    with SwiftRuntime.from_config(cfg) as rt:
+        first = rt.run(source)      # compiles
+        second = rt.run(source)     # cache hit
+    print(rt.trace.by_category())   # merged trace of both runs
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from .core import CompiledProgram, compile_swift
 from .turbine import RunResult, RuntimeConfig, run_turbine_program
 
+_UNSET = object()
 
-@dataclass
+
 class SwiftRuntime:
-    """A reusable configuration for running Swift programs."""
+    """A reusable, configurable handle for running Swift programs.
 
-    workers: int = 2
-    servers: int = 1
-    engines: int = 1
-    opt: int = 1
-    steal: bool = True
-    echo: bool = False
-    interp_mode: str = "retain"
-    record_spans: bool = False
-    recv_timeout: float = 120.0
-    setup: Callable | None = None
-    args: dict | None = None  # program arguments for argv()
+    Construct directly with role counts and option overrides, or from
+    an explicit config via :meth:`from_config`.  Used as a context
+    manager it becomes a *session*: compiled programs are cached by
+    ``(source, opt)`` and — when tracing is enabled — all runs share a
+    single :class:`repro.obs.Tracer`, with the merged
+    :class:`repro.obs.Trace` available as ``rt.trace`` after exit.
+    """
 
-    def config(self) -> RuntimeConfig:
-        return RuntimeConfig(
-            size=self.workers + self.servers + self.engines,
-            n_servers=self.servers,
-            n_engines=self.engines,
-            steal=self.steal,
-            echo=self.echo,
-            interp_mode=self.interp_mode,
-            record_spans=self.record_spans,
-            recv_timeout=self.recv_timeout,
-            args=dict(self.args or {}),
+    def __init__(
+        self,
+        workers: int | None = None,
+        servers: int | None = None,
+        engines: int | None = None,
+        opt: int = 1,
+        setup: Callable | None = None,
+        args: dict | None = None,
+        config: RuntimeConfig | None = None,
+        **overrides,
+    ):
+        cfg = config if config is not None else RuntimeConfig.of()
+        roles = {}
+        if workers is not None:
+            roles["workers"] = workers
+        if servers is not None:
+            roles["servers"] = servers
+        if engines is not None:
+            roles["engines"] = engines
+        if args is not None:
+            overrides["args"] = dict(args)
+        if roles or overrides:
+            cfg = cfg.with_options(**roles, **overrides)
+        self.config = cfg
+        self.opt = opt
+        self.setup = setup
+        # session state (populated by __enter__)
+        self._cache: dict[tuple[str, int], CompiledProgram] | None = None
+        self._session_tracer = None
+        #: merged session trace, set on context-manager exit
+        self.trace = None
+
+    @classmethod
+    def from_config(
+        cls,
+        config: RuntimeConfig,
+        opt: int = 1,
+        setup: Callable | None = None,
+    ) -> "SwiftRuntime":
+        return cls(opt=opt, setup=setup, config=config)
+
+    # ------------------------------------------------------------- session
+
+    def __enter__(self) -> "SwiftRuntime":
+        self._cache = {}
+        if self.config.tracer is not None:
+            self._session_tracer = self.config.tracer
+        elif self.config.trace:
+            from .obs import Tracer
+
+            self._session_tracer = Tracer(capacity=self.config.trace_capacity)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._session_tracer is not None:
+            self.trace = self._session_tracer.freeze()
+            self._session_tracer = None
+        self._cache = None
+        return False
+
+    # ------------------------------------------------------------- running
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    @property
+    def servers(self) -> int:
+        return self.config.n_servers
+
+    @property
+    def engines(self) -> int:
+        return self.config.n_engines
+
+    def _run_config(self, overrides: dict) -> RuntimeConfig:
+        cfg = self.config
+        if self._session_tracer is not None:
+            cfg = cfg.with_options(tracer=self._session_tracer)
+        if overrides:
+            cfg = cfg.with_options(**overrides)
+        return cfg
+
+    def compile(self, source: str, _tracer=None) -> CompiledProgram:
+        key = (source, self.opt)
+        if self._cache is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        compiled = compile_swift(
+            source, opt=self.opt, tracer=_tracer or self._session_tracer
         )
+        if self._cache is not None:
+            self._cache[key] = compiled
+        return compiled
 
-    def compile(self, source: str) -> CompiledProgram:
-        return compile_swift(source, opt=self.opt)
+    def run(self, source: str, **overrides) -> RunResult:
+        cfg = self._run_config(overrides)
+        if cfg.tracer is None and cfg.trace:
+            # Create the run's tracer up front so compile-phase spans
+            # land in the same trace as the runtime events.
+            from .obs import Tracer
 
-    def run(self, source: str) -> RunResult:
-        compiled = self.compile(source)
-        return self.run_compiled(compiled)
-
-    def run_compiled(self, compiled: CompiledProgram) -> RunResult:
+            cfg = cfg.with_options(tracer=Tracer(capacity=cfg.trace_capacity))
+        compiled = self.compile(source, _tracer=cfg.tracer)
         return run_turbine_program(
             compiled.tcl_text,
-            config=self.config(),
+            config=cfg,
+            setup=self.setup,
+            entry=compiled.entry,
+        )
+
+    def run_compiled(self, compiled: CompiledProgram, **overrides) -> RunResult:
+        return run_turbine_program(
+            compiled.tcl_text,
+            config=self._run_config(overrides),
             setup=self.setup,
             entry=compiled.entry,
         )
@@ -69,15 +170,21 @@ class SwiftRuntime:
 
 def swift_run(
     source: str,
-    workers: int = 2,
-    servers: int = 1,
-    engines: int = 1,
+    workers: int | None = None,
+    servers: int | None = None,
+    engines: int | None = None,
     opt: int = 1,
     setup: Callable | None = None,
     args: dict | None = None,
-    **kwargs,
+    config: RuntimeConfig | None = None,
+    **overrides: Any,
 ) -> RunResult:
-    """Compile and execute a Swift program; returns the RunResult."""
+    """Compile and execute a Swift program; returns the RunResult.
+
+    ``config`` seeds all runtime options; the remaining keywords are
+    overrides applied on top (``swift_run(src, config=cfg, trace=True)``).
+    Unknown option names raise ``TypeError``.
+    """
     rt = SwiftRuntime(
         workers=workers,
         servers=servers,
@@ -85,6 +192,7 @@ def swift_run(
         opt=opt,
         setup=setup,
         args=args,
-        **kwargs,
+        config=config,
+        **overrides,
     )
     return rt.run(source)

@@ -6,12 +6,17 @@ Usage::
     python -m repro run program.swift [--workers N] [--servers N]
         [--engines N] [-O2] [--arg name=value ...] [--trace]
     python -m repro runtcl program.tic [--workers N]
+    python -m repro profile program.swift [--chrome trace.json]
+    python -m repro trace program.swift [-o trace.json]
     python -m repro submit program.swift --scheduler slurm --nodes 512
 
 ``compile`` writes the generated Turbine Tcl (a ``.tic`` file, as real
 STC calls them); ``run`` compiles and executes on the thread-backed
-runtime; ``runtcl`` executes an already-compiled program; ``submit``
-renders the batch submission script for a real machine.
+runtime; ``runtcl`` executes an already-compiled program; ``profile``
+runs with the :mod:`repro.obs` tracer enabled and prints the
+per-category/per-worker breakdown; ``trace`` runs traced and writes a
+Chrome ``trace_event`` JSON (load in chrome://tracing or Perfetto);
+``submit`` renders the batch submission script for a real machine.
 """
 
 from __future__ import annotations
@@ -42,6 +47,21 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
         choices=["retain", "reinit"],
         default="retain",
         help="embedded interpreter state policy (paper III-C)",
+    )
+
+
+def _runtime_config(
+    ns: argparse.Namespace, echo: bool, trace: bool
+) -> RuntimeConfig:
+    """One funnel from parsed CLI flags to a RuntimeConfig."""
+    return RuntimeConfig.of(
+        workers=ns.workers,
+        servers=ns.servers,
+        engines=ns.engines,
+        echo=echo,
+        trace=trace,
+        interp_mode=ns.interp_mode,
+        args=_parse_args_list(ns.arg),
     )
 
 
@@ -87,6 +107,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_runtcl.add_argument("program")
     _add_runtime_flags(p_runtcl)
 
+    p_profile = sub.add_parser(
+        "profile", help="run a Swift program traced and print a profile"
+    )
+    p_profile.add_argument("source")
+    for level in (0, 1, 2):
+        p_profile.add_argument(
+            "-O%d" % level, dest="opt", action="store_const", const=level
+        )
+    p_profile.set_defaults(opt=1)
+    _add_runtime_flags(p_profile)
+    p_profile.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help="also write a Chrome trace_event JSON to PATH",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="run a Swift program traced and write Chrome JSON"
+    )
+    p_trace.add_argument("source")
+    for level in (0, 1, 2):
+        p_trace.add_argument(
+            "-O%d" % level, dest="opt", action="store_const", const=level
+        )
+    p_trace.set_defaults(opt=1)
+    _add_runtime_flags(p_trace)
+    p_trace.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="trace JSON path (default: SOURCE with .trace.json suffix)",
+    )
+
     p_submit = sub.add_parser(
         "submit", help="render a batch submission script"
     )
@@ -129,45 +183,54 @@ def _dispatch(ns: argparse.Namespace) -> int:
         )
         return 0
 
-    if ns.command == "run":
+    if ns.command in ("run", "profile", "trace"):
         with open(ns.source, "r", encoding="utf-8") as f:
             source = f.read()
+        traced = ns.command != "run" or ns.trace
         rt = SwiftRuntime(
-            workers=ns.workers,
-            servers=ns.servers,
-            engines=ns.engines,
             opt=ns.opt,
-            echo=True,
-            interp_mode=ns.interp_mode,
-            args=_parse_args_list(ns.arg),
+            config=_runtime_config(ns, echo=ns.command == "run", trace=traced),
         )
         from .mpi.launcher import RankFailure
 
         try:
-            rt.run(source)
+            result = rt.run(source)
         except RankFailure as e:
             print("run failed: %s" % e, file=sys.stderr)
             return 3
+        if ns.command == "run":
+            if traced:
+                print(result.profile.render(), file=sys.stderr)
+            return 0
+        if ns.command == "profile":
+            print(result.profile.render())
+            if ns.chrome:
+                result.trace.save_chrome(ns.chrome)
+                print("\nchrome trace written to %s" % ns.chrome)
+            return 0
+        # trace
+        out = ns.output or (ns.source.rsplit(".", 1)[0] + ".trace.json")
+        result.trace.save_chrome(out)
+        print(
+            "trace written to %s (%d events, %d dropped); load in "
+            "chrome://tracing or https://ui.perfetto.dev"
+            % (out, len(result.trace), result.trace.dropped)
+        )
         return 0
 
     if ns.command == "runtcl":
         with open(ns.program, "r", encoding="utf-8") as f:
             program = f.read()
-        config = RuntimeConfig(
-            size=ns.workers + ns.servers + ns.engines,
-            n_servers=ns.servers,
-            n_engines=ns.engines,
-            echo=True,
-            interp_mode=ns.interp_mode,
-            args=_parse_args_list(ns.arg),
-        )
+        config = _runtime_config(ns, echo=True, trace=ns.trace)
         from .mpi.launcher import RankFailure
 
         try:
-            run_turbine_program(program, config)
+            result = run_turbine_program(program, config)
         except RankFailure as e:
             print("run failed: %s" % e, file=sys.stderr)
             return 3
+        if ns.trace:
+            print(result.profile.render(), file=sys.stderr)
         return 0
 
     if ns.command == "submit":

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Any
 
 from .codegen import Codegen, CompiledProgram
 from .parser import parse
@@ -20,13 +21,19 @@ class CompileStats:
 
 
 def compile_swift(
-    source: str, opt: int = 1, return_stats: bool = False
+    source: str,
+    opt: int = 1,
+    return_stats: bool = False,
+    tracer: Any | None = None,
 ) -> CompiledProgram | tuple[CompiledProgram, CompileStats]:
     """Compile Swift source text at the given optimization level.
 
     Levels: 0 = straight translation; 1 = constant folding and
     compile-time branch elimination; 2 = additionally scalar constant
     propagation and spawn-time value arithmetic.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records per-phase spans in
+    the ``compile`` category.
     """
     t0 = time.perf_counter()
     program = parse(source)
@@ -35,6 +42,19 @@ def compile_swift(
     t2 = time.perf_counter()
     compiled = Codegen(program, funcs, opt=opt).generate()
     t3 = time.perf_counter()
+    if tracer is not None:
+        from ..obs import RANK_DRIVER
+
+        tracer.complete(RANK_DRIVER, "compile", "parse", t0, t1)
+        tracer.complete(RANK_DRIVER, "compile", "check", t1, t2)
+        tracer.complete(
+            RANK_DRIVER,
+            "compile",
+            "codegen",
+            t2,
+            t3,
+            {"opt": opt, "procs": compiled.n_procs, "lines": compiled.n_lines},
+        )
     if not return_stats:
         return compiled
     stats = CompileStats(

@@ -38,9 +38,11 @@ class CommStats:
     recvs: int = 0
     bytes_sent: int = 0
 
-    def add_send(self, payload: Any) -> None:
+    def add_send(self, payload: Any) -> int:
+        size = _approx_size(payload)
         self.sends += 1
-        self.bytes_sent += _approx_size(payload)
+        self.bytes_sent += size
+        return size
 
 
 def _approx_size(obj: Any) -> int:
@@ -121,13 +123,25 @@ class _Mailbox:
 
 
 class World:
-    """A set of ranks sharing an address space (one simulated MPI job)."""
+    """A set of ranks sharing an address space (one simulated MPI job).
 
-    def __init__(self, size: int, recv_timeout: float | None = 120.0):
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; when set, every
+    Comm records send instants and recv-wait spans into it (category
+    ``mpi``).  When ``None`` — the default — the instrumentation is a
+    single pointer test per call.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        recv_timeout: float | None = 120.0,
+        tracer: Any | None = None,
+    ):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
         self.recv_timeout = recv_timeout
+        self.tracer = tracer
         self.mailboxes = [_Mailbox() for _ in range(size)]
         self.stats = [CommStats() for _ in range(size)]
         self.aborted = threading.Event()
@@ -171,8 +185,23 @@ class Comm:
             raise AbortError("world aborted during send")
         if not 0 <= dest < self.size:
             raise ValueError("bad destination rank %d" % dest)
-        self.world.stats[self.rank].add_send(obj)
-        self.world.mailboxes[dest].put(self.rank, tag, obj)
+        size = self.world.stats[self.rank].add_send(obj)
+        mailbox = self.world.mailboxes[dest]
+        tracer = self.world.tracer
+        if tracer is not None:
+            # racy read of the destination queue depth — fine for tracing
+            tracer.instant(
+                self.rank,
+                "mpi",
+                "send",
+                {
+                    "dest": dest,
+                    "tag": tag,
+                    "bytes": size,
+                    "qdepth": len(mailbox.messages),
+                },
+            )
+        mailbox.put(self.rank, tag, obj)
 
     def recv(
         self,
@@ -182,9 +211,23 @@ class Comm:
     ) -> tuple[Any, Status]:
         if timeout is None:
             timeout = self.world.recv_timeout
-        obj, status = self.world.mailboxes[self.rank].get(
-            source, tag, timeout, self.world.aborted
-        )
+        tracer = self.world.tracer
+        if tracer is None:
+            obj, status = self.world.mailboxes[self.rank].get(
+                source, tag, timeout, self.world.aborted
+            )
+        else:
+            t0 = tracer.now()
+            obj, status = self.world.mailboxes[self.rank].get(
+                source, tag, timeout, self.world.aborted
+            )
+            tracer.complete(
+                self.rank,
+                "mpi",
+                "recv",
+                t0,
+                payload={"source": status.source, "tag": status.tag},
+            )
         self.world.stats[self.rank].recvs += 1
         return obj, status
 
@@ -195,12 +238,22 @@ class Comm:
         timeout: float = 0.05,
     ) -> tuple[Any, Status] | None:
         """Like recv but returns None on timeout instead of raising."""
+        tracer = self.world.tracer
+        t0 = tracer.now() if tracer is not None else 0.0
         try:
             obj, status = self.world.mailboxes[self.rank].get(
                 source, tag, timeout, self.world.aborted
             )
         except DeadlockError:
             return None
+        if tracer is not None:
+            tracer.complete(
+                self.rank,
+                "mpi",
+                "recv",
+                t0,
+                payload={"source": status.source, "tag": status.tag},
+            )
         self.world.stats[self.rank].recvs += 1
         return obj, status
 

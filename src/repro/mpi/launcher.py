@@ -24,14 +24,18 @@ def run_world(
     main: Callable[[Comm], Any],
     recv_timeout: float | None = 120.0,
     join_timeout: float | None = 300.0,
+    tracer: Any | None = None,
 ) -> list[Any]:
     """Launch ``main(comm)`` on ``size`` ranks; return per-rank results.
 
     Equivalent of ``mpiexec -n size python program.py``.  If any rank
     raises, the world is aborted (waking blocked receivers) and a
     :class:`RankFailure` summarizing all failures is raised.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) enables MPI-layer tracing;
+    per-rank traffic counters are folded into its metrics on exit.
     """
-    world = World(size, recv_timeout=recv_timeout)
+    world = World(size, recv_timeout=recv_timeout, tracer=tracer)
     results: list[Any] = [None] * size
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
@@ -57,6 +61,9 @@ def run_world(
             world.abort(TimeoutError("rank thread did not finish"))
     for t in threads:
         t.join(timeout=10.0)
+    if tracer is not None:
+        for rank, stats in enumerate(world.stats):
+            tracer.metrics.fold_struct("mpi", stats, rank=rank)
     if failures:
         failures.sort(key=lambda p: p[0])
         # Suppress secondary AbortErrors triggered by the primary failure.

@@ -1,0 +1,45 @@
+"""repro.obs: the unified runtime tracing/metrics layer.
+
+One substrate for every measurement in the repo: a low-overhead
+structured event tracer (:class:`Tracer` -> :class:`Trace`), a metrics
+registry (:class:`Metrics`), and post-run aggregation
+(:class:`Profile`) with a Chrome ``trace_event`` exporter.
+
+Instrumented layers and their event categories:
+
+========== =============================================================
+category   emitted by
+========== =============================================================
+``mpi``    :mod:`repro.mpi.comm` — send instants (bytes, queue depth),
+           recv wait spans
+``adlb``   :mod:`repro.adlb.server` — put/get/steal instants, data-op
+           instants (store/retrieve/refcount/...)
+``rule``   :mod:`repro.turbine.engine` — rule create/fire/release,
+           close notifications
+``engine`` :mod:`repro.turbine.engine` — dataflow stall (wait) spans
+``task``   :mod:`repro.turbine.worker` — one span per leaf task
+``compile``:mod:`repro.core.compiler` — parse/check/codegen phases
+``run``    :mod:`repro.turbine.runtime` — whole-run span
+========== =============================================================
+
+Tracing is off by default and zero-cost when off: call sites test a
+``tracer is None`` fast path.  Enable with ``swift_run(..., trace=True)``,
+``RuntimeConfig(trace=True)``, or the ``repro profile`` / ``repro trace``
+CLI subcommands.
+"""
+
+from .metrics import HistogramSummary, Metrics
+from .report import Profile, WorkerUtilization
+from .trace import RANK_DRIVER, CategoryTotal, Trace, TraceEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "Trace",
+    "TraceEvent",
+    "CategoryTotal",
+    "Metrics",
+    "HistogramSummary",
+    "Profile",
+    "WorkerUtilization",
+    "RANK_DRIVER",
+]

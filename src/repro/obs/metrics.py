@@ -1,0 +1,109 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Hot paths in the runtime keep their own per-rank stat structs (plain
+dataclass fields, no locks — each rank thread owns its struct).  At the
+end of a run those per-rank structs are *folded* into the tracer's
+Metrics registry, which is also available for direct use by cold paths.
+``snapshot()`` renders everything as plain dicts for reports and the
+Chrome export.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HistogramSummary:
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class Metrics:
+    """Thread-safe registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, HistogramSummary] = {}
+
+    # ------------------------------------------------------------- updates
+
+    def count(self, name: str, n: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        with self._lock:
+            cur = self._gauges.get(name)
+            if cur is None or value > cur:
+                self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = HistogramSummary()
+            hist.observe(value)
+
+    def fold_struct(self, prefix: str, struct, rank: int | None = None) -> None:
+        """Fold a per-rank stats dataclass into the registry.
+
+        Numeric fields become ``prefix.field`` counters (summed across
+        ranks); when ``rank`` is given, per-rank gauges
+        ``prefix.field[rank]`` are kept as well so imbalance is visible.
+        """
+        from dataclasses import fields as dc_fields
+
+        for f in dc_fields(struct):
+            value = getattr(struct, f.name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            self.count("%s.%s" % (prefix, f.name), value)
+            if rank is not None:
+                self.gauge("%s.%s[%d]" % (prefix, f.name, rank), value)
+
+    # ------------------------------------------------------------ reading
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {k: h.as_dict() for k, h in self._hists.items()},
+            }

@@ -1,0 +1,122 @@
+"""Post-run aggregation: turn a Trace into a human-readable profile.
+
+The profile mirrors the measurements behind the paper's figures:
+per-category time totals (where did the run spend its time), per-worker
+utilization (the load-balance efficiency of Fig. 3), and the headline
+ADLB/MPI counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .trace import CategoryTotal, Trace
+
+#: span category emitted by workers around each leaf task
+TASK = "task"
+
+
+@dataclass
+class WorkerUtilization:
+    rank: int
+    tasks: int
+    busy: float
+    utilization: float  # busy / wall
+
+
+@dataclass
+class Profile:
+    """Aggregated view of one trace (``RunResult.profile``)."""
+
+    trace: Trace
+    wall: float = 0.0
+    categories: dict[str, CategoryTotal] = field(default_factory=dict)
+    workers: list[WorkerUtilization] = field(default_factory=list)
+    efficiency: float = 0.0  # mean worker utilization (paper Fig. 3)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "Profile":
+        wall = trace.meta.get("elapsed") or 0.0
+        if not wall and trace.events:
+            wall = max(e.end for e in trace.events) - min(
+                e.t for e in trace.events
+            )
+        prof = cls(trace=trace, wall=wall, categories=trace.by_category())
+        busy_by_rank: dict[int, float] = {}
+        tasks_by_rank: dict[int, int] = {}
+        for e in trace.spans(TASK):
+            busy_by_rank[e.rank] = busy_by_rank.get(e.rank, 0.0) + e.dur
+            tasks_by_rank[e.rank] = tasks_by_rank.get(e.rank, 0) + 1
+        roles: dict = trace.meta.get("roles", {})
+        worker_ranks = sorted(
+            set(busy_by_rank)
+            | {r for r, role in roles.items() if role == "worker"}
+        )
+        for rank in worker_ranks:
+            busy = busy_by_rank.get(rank, 0.0)
+            prof.workers.append(
+                WorkerUtilization(
+                    rank=rank,
+                    tasks=tasks_by_rank.get(rank, 0),
+                    busy=busy,
+                    utilization=(busy / wall) if wall else 0.0,
+                )
+            )
+        if prof.workers:
+            prof.efficiency = sum(w.utilization for w in prof.workers) / len(
+                prof.workers
+            )
+        return prof
+
+    # ----------------------------------------------------------- rendering
+
+    def render(self) -> str:
+        lines: list[str] = []
+        lines.append("profile: %.3fs wall, %d events" % (self.wall, len(self.trace)))
+        if self.trace.dropped:
+            lines.append(
+                "  (ring buffer wrapped: %d oldest events dropped)"
+                % self.trace.dropped
+            )
+        lines.append("")
+        lines.append("per-category time:")
+        lines.append(
+            "  %-12s %8s %8s %10s %8s"
+            % ("category", "events", "spans", "total(s)", "% wall")
+        )
+        for cat, tot in sorted(
+            self.categories.items(), key=lambda kv: -kv[1].total_dur
+        ):
+            pct = 100.0 * tot.total_dur / self.wall if self.wall else 0.0
+            lines.append(
+                "  %-12s %8d %8d %10.4f %7.1f%%"
+                % (cat, tot.count, tot.spans, tot.total_dur, pct)
+            )
+        if self.workers:
+            lines.append("")
+            lines.append("worker utilization (load balance):")
+            for w in self.workers:
+                bar = "#" * int(round(40 * min(w.utilization, 1.0)))
+                lines.append(
+                    "  rank %-3d %5d tasks %8.3fs busy %6.1f%% |%-40s|"
+                    % (w.rank, w.tasks, w.busy, 100 * w.utilization, bar)
+                )
+            lines.append("  mean utilization: %.1f%%" % (100 * self.efficiency))
+        counters = self.trace.metrics.get("counters", {})
+        headline = [
+            (name, counters[name])
+            for name in sorted(counters)
+            if "[" not in name  # skip per-rank gauge-style entries
+        ]
+        if headline:
+            lines.append("")
+            lines.append("counters:")
+            for name, value in headline:
+                if isinstance(value, float) and not value.is_integer():
+                    lines.append("  %-36s %14.4f" % (name, value))
+                else:
+                    lines.append("  %-36s %14d" % (name, int(value)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

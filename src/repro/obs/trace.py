@@ -1,0 +1,250 @@
+"""The structured event tracer: a per-run ring buffer of timed events.
+
+Every runtime layer emits into one :class:`Tracer` — the MPI substrate
+(send/recv latency and bytes), the ADLB servers (put/get/steal/data
+ops), the Turbine engines (rule firing, dataflow stalls) and workers
+(leaf-task spans), and the STC compiler (phase timings).  Events are
+``(t, dur, rank, category, name, payload)`` records; spans are events
+with ``dur > 0``, instants have ``dur == 0``.
+
+Tracing is strictly opt-in and zero-cost when disabled: every
+instrumented call site holds a ``tracer`` reference that is ``None``
+unless the run was started with ``trace=True``, so the fast path is a
+single attribute load and ``is None`` test.  When enabled, events go
+into a bounded :class:`collections.deque` (appends are atomic under the
+GIL, so rank threads never contend on a lock) and the oldest events are
+discarded once ``capacity`` is reached.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from .metrics import Metrics
+
+_clock = time.perf_counter
+
+#: rank id used for events that happen outside the rank world
+#: (e.g. compile phases run on the launching thread).
+RANK_DRIVER = -1
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One trace record.  ``t`` is seconds since the tracer's epoch."""
+
+    t: float
+    dur: float
+    rank: int
+    category: str
+    name: str
+    payload: dict | None = None
+
+    @property
+    def end(self) -> float:
+        return self.t + self.dur
+
+
+class Tracer:
+    """Collects events from all rank threads of one (or more) runs.
+
+    A single Tracer may outlive one run: the session API shares a
+    tracer across every ``rt.run(...)`` inside a ``with`` block so
+    traces compose.  :meth:`freeze` snapshots the current contents as
+    an immutable :class:`Trace`.
+    """
+
+    def __init__(self, capacity: int = 1 << 16):
+        self.capacity = capacity
+        self.epoch = _clock()
+        self.metrics = Metrics()
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._emitted = 0
+
+    # ----------------------------------------------------------- recording
+
+    def now(self) -> float:
+        """Timestamp for a span start (pass back to :meth:`complete`)."""
+        return _clock()
+
+    def instant(
+        self, rank: int, category: str, name: str, payload: dict | None = None
+    ) -> None:
+        self._emitted += 1
+        self._events.append(
+            TraceEvent(_clock() - self.epoch, 0.0, rank, category, name, payload)
+        )
+
+    def complete(
+        self,
+        rank: int,
+        category: str,
+        name: str,
+        t0: float,
+        t1: float | None = None,
+        payload: dict | None = None,
+    ) -> None:
+        """Record a finished span that started at ``t0`` (from :meth:`now`)."""
+        if t1 is None:
+            t1 = _clock()
+        self._emitted += 1
+        self._events.append(
+            TraceEvent(t0 - self.epoch, t1 - t0, rank, category, name, payload)
+        )
+
+    def span(
+        self, rank: int, category: str, name: str, payload: dict | None = None
+    ) -> "_Span":
+        """Context manager recording a span around a ``with`` block."""
+        return _Span(self, rank, category, name, payload)
+
+    # ----------------------------------------------------------- snapshots
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because the ring buffer wrapped."""
+        return self._emitted - len(self._events)
+
+    def freeze(self, meta: dict | None = None) -> "Trace":
+        """Snapshot current events + metrics as an immutable Trace."""
+        events = sorted(self._events, key=lambda e: e.t)
+        return Trace(
+            events=events,
+            metrics=self.metrics.snapshot(),
+            meta=dict(meta or {}),
+            dropped=self.dropped,
+        )
+
+
+class _Span:
+    __slots__ = ("tracer", "rank", "category", "name", "payload", "t0")
+
+    def __init__(self, tracer, rank, category, name, payload):
+        self.tracer = tracer
+        self.rank = rank
+        self.category = category
+        self.name = name
+        self.payload = payload
+
+    def __enter__(self) -> "_Span":
+        self.t0 = _clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.tracer.complete(
+            self.rank, self.category, self.name, self.t0, payload=self.payload
+        )
+
+
+@dataclass
+class CategoryTotal:
+    """Aggregate of one event category (see :meth:`Trace.by_category`)."""
+
+    count: int = 0
+    spans: int = 0
+    total_dur: float = 0.0
+
+
+@dataclass
+class Trace:
+    """An immutable snapshot of a tracer: the public trace object.
+
+    ``meta`` carries run-level context (role layout, elapsed wall time);
+    ``metrics`` is the merged counter/gauge/histogram snapshot.
+    """
+
+    events: list[TraceEvent] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+    dropped: int = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def spans(
+        self, category: str | None = None, name: str | None = None
+    ) -> list[TraceEvent]:
+        """All span events (dur > 0), optionally filtered."""
+        return [
+            e
+            for e in self.events
+            if e.dur > 0.0
+            and (category is None or e.category == category)
+            and (name is None or e.name == name)
+        ]
+
+    def instants(self, category: str | None = None) -> list[TraceEvent]:
+        return [
+            e
+            for e in self.events
+            if e.dur == 0.0 and (category is None or e.category == category)
+        ]
+
+    def by_category(self) -> dict[str, CategoryTotal]:
+        out: dict[str, CategoryTotal] = {}
+        for e in self.events:
+            tot = out.setdefault(e.category, CategoryTotal())
+            tot.count += 1
+            if e.dur > 0.0:
+                tot.spans += 1
+                tot.total_dur += e.dur
+        return out
+
+    # ------------------------------------------------------------- export
+
+    def to_chrome(self) -> dict:
+        """Render as a Chrome ``trace_event`` JSON object.
+
+        Load the saved file in ``chrome://tracing`` or https://ui.perfetto.dev.
+        Spans become complete ("X") events, instants become instant
+        ("i") events; rank threads are named from ``meta['roles']``.
+        """
+        trace_events: list[dict] = []
+        roles: dict = self.meta.get("roles", {})
+        seen_ranks = sorted({e.rank for e in self.events})
+        for rank in seen_ranks:
+            role = roles.get(rank, "driver" if rank == RANK_DRIVER else "rank")
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 0,
+                    "tid": rank,
+                    "args": {"name": "rank %d (%s)" % (rank, role)},
+                }
+            )
+        for e in self.events:
+            rec: dict = {
+                "name": e.name,
+                "cat": e.category,
+                "pid": 0,
+                "tid": e.rank,
+                "ts": e.t * 1e6,  # trace_event timestamps are microseconds
+            }
+            if e.dur > 0.0:
+                rec["ph"] = "X"
+                rec["dur"] = e.dur * 1e6
+            else:
+                rec["ph"] = "i"
+                rec["s"] = "t"
+            if e.payload:
+                rec["args"] = dict(e.payload)
+            trace_events.append(rec)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "dropped_events": self.dropped,
+                "metrics": self.metrics,
+                **{k: v for k, v in self.meta.items() if k != "roles"},
+            },
+        }
+
+    def save_chrome(self, path: str) -> None:
+        import json
+
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_chrome(), f, indent=1)

@@ -7,6 +7,7 @@ shipped through ADLB as Tcl code fragments.
 
 from .engine import Engine, EngineStats, Rule
 from .runtime import (
+    LEGACY_OPTIONS,
     Output,
     RankContext,
     RunResult,
@@ -23,6 +24,7 @@ __all__ = [
     "Worker",
     "WorkerStats",
     "RuntimeConfig",
+    "LEGACY_OPTIONS",
     "RunResult",
     "RankContext",
     "Output",

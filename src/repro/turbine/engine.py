@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..adlb.client import AdlbClient
 from ..adlb.constants import CONTROL
@@ -42,9 +43,10 @@ class EngineStats:
 class Engine:
     """Dataflow rule bookkeeping + main event loop for one engine rank."""
 
-    def __init__(self, client: AdlbClient, interp):
+    def __init__(self, client: AdlbClient, interp, tracer: Any | None = None):
         self.client = client
         self.interp = interp
+        self.tracer = tracer
         self._seq = itertools.count(1)
         self.ready: deque[Rule] = deque()
         # td id -> rules blocked on it
@@ -78,6 +80,13 @@ class Engine:
             name=name,
         )
         self.stats.rules_created += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.client.rank,
+                "rule",
+                "create",
+                {"id": rule.id, "type": rtype, "name": name},
+            )
         for td in set(inputs):
             if td in self.closed:
                 continue
@@ -96,6 +105,8 @@ class Engine:
 
     def on_close(self, td: int) -> None:
         self.stats.notifications += 1
+        if self.tracer is not None:
+            self.tracer.instant(self.client.rank, "rule", "notify", {"td": td})
         self.closed.add(td)
         self.subscribed.discard(td)
         for rule in self.blocked.pop(td, []):
@@ -105,16 +116,35 @@ class Engine:
 
     def drain(self) -> None:
         """Fire every ready rule (firing may enqueue more)."""
+        tracer = self.tracer
         while self.ready:
             rule = self.ready.popleft()
             if rule.type == "LOCAL":
                 self.stats.rules_fired_local += 1
-                self.interp.eval(rule.action)
+                if tracer is None:
+                    self.interp.eval(rule.action)
+                else:
+                    t0 = tracer.now()
+                    self.interp.eval(rule.action)
+                    tracer.complete(
+                        self.client.rank,
+                        "rule",
+                        "fire",
+                        t0,
+                        payload={"id": rule.id, "name": rule.name},
+                    )
                 self.client.decr_work()  # the rule's accounting unit
             else:
                 # The rule's accounting unit transfers to the task; the
                 # executing rank decrements after running it.
                 self.stats.tasks_released += 1
+                if tracer is not None:
+                    tracer.instant(
+                        self.client.rank,
+                        "rule",
+                        "release",
+                        {"id": rule.id, "type": rule.type, "name": rule.name},
+                    )
                 self.client.put(
                     rule.action,
                     type=rule.type,
@@ -131,21 +161,40 @@ class Engine:
         engine rank receives one); other engines only execute CONTROL
         tasks shipped to them.
         """
+        tracer = self.tracer
+        rank = self.client.rank
         self.client.park_async((CONTROL,))
         if initial_script is not None:
             self.client.incr_work()
-            self.interp.eval(initial_script)
+            if tracer is None:
+                self.interp.eval(initial_script)
+            else:
+                with tracer.span(rank, "engine", "program"):
+                    self.interp.eval(initial_script)
             self.drain()
             self.client.decr_work()
         while True:
             self.drain()
-            msg = self.client.recv_async()
+            # Time blocked here with no ready rules is a dataflow stall:
+            # the engine is waiting on close notifications or control work.
+            if tracer is None:
+                msg = self.client.recv_async()
+            else:
+                t0 = tracer.now()
+                msg = self.client.recv_async()
+                tracer.complete(
+                    rank, "engine", "stall", t0, payload={"kind": msg[0]}
+                )
             kind = msg[0]
             if kind == "notify":
                 self.on_close(msg[1])
             elif kind == "ctask":
                 self.stats.control_tasks_run += 1
-                self.interp.eval(msg[2])
+                if tracer is None:
+                    self.interp.eval(msg[2])
+                else:
+                    with tracer.span(rank, "engine", "ctask"):
+                        self.interp.eval(msg[2])
                 self.drain()
                 self.client.park_async((CONTROL,))
                 self.client.decr_work()
@@ -153,4 +202,6 @@ class Engine:
                 break
             else:
                 raise RuntimeError("engine: unexpected async message %r" % (msg,))
+        if tracer is not None:
+            tracer.metrics.fold_struct("engine", self.stats, rank=rank)
         return self.stats

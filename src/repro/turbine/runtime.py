@@ -26,17 +26,37 @@ from .tcllib import TURBINE_TCL
 from .worker import Worker, WorkerStats
 
 
+# Old option names still accepted by with_options()/swift_run(); each
+# maps to exactly one current option.  This is the documented old->new
+# migration table (see CHANGES.md).
+LEGACY_OPTIONS = {
+    "record_spans": "trace",  # worker task spans now ride the obs tracer
+}
+
+_ROLE_OPTIONS = ("workers", "servers", "engines")
+
+
 @dataclass
 class RuntimeConfig:
-    """Process layout and runtime options (Fig. 2 of the paper)."""
+    """Process layout and runtime options (Fig. 2 of the paper).
+
+    This is the single home of every runtime knob: the public API
+    (:func:`repro.swift_run`, :class:`repro.SwiftRuntime`) and the CLI
+    both funnel options through :meth:`with_options`, so adding a field
+    here is all it takes to expose a new option everywhere.
+    """
 
     size: int = 4
     n_servers: int = 1
     n_engines: int = 1
     steal: bool = True
+    # Enable the repro.obs tracer: structured events from the MPI,
+    # ADLB, Turbine, and compile layers; RunResult.trace/.profile.
     trace: bool = False
+    # Externally supplied tracer (session API); overrides ``trace``.
+    tracer: Any | None = field(default=None, repr=False, compare=False)
+    trace_capacity: int = 1 << 16
     echo: bool = False  # also print program output to real stdout
-    record_spans: bool = False  # per-task timing on workers (benchmarks)
     recv_timeout: float = 120.0
     # Interpreter state policy for embedded Python/R interpreters
     # (paper §III-C): "retain" keeps state across tasks, "reinit"
@@ -47,6 +67,57 @@ class RuntimeConfig:
 
     def layout(self) -> Layout:
         return Layout(self.size, self.n_servers, self.n_engines)
+
+    @property
+    def workers(self) -> int:
+        return self.size - self.n_servers - self.n_engines
+
+    @classmethod
+    def of(
+        cls, workers: int = 2, servers: int = 1, engines: int = 1, **options
+    ) -> "RuntimeConfig":
+        """Build a config from role counts instead of a total size."""
+        cfg = cls(
+            size=workers + servers + engines,
+            n_servers=servers,
+            n_engines=engines,
+        )
+        return cfg.with_options(**options) if options else cfg
+
+    def with_options(self, **options) -> "RuntimeConfig":
+        """Return a copy with the given options applied.
+
+        Accepts every field name, the role counts ``workers`` /
+        ``servers`` / ``engines`` (``size`` is recomputed), and the
+        legacy names in :data:`LEGACY_OPTIONS`.  Unknown names raise
+        ``TypeError`` — options never vanish silently.
+        """
+        from dataclasses import fields as dc_fields
+        from dataclasses import replace
+
+        valid = {f.name for f in dc_fields(self)}
+        updates: dict[str, Any] = {}
+        roles: dict[str, int] = {}
+        for key, value in options.items():
+            key = LEGACY_OPTIONS.get(key, key)
+            if key in _ROLE_OPTIONS:
+                roles[key] = value
+            elif key in valid:
+                updates[key] = value
+            else:
+                raise TypeError(
+                    "unknown runtime option %r; valid options: %s"
+                    % (key, ", ".join(sorted(valid | set(_ROLE_OPTIONS))))
+                )
+        cfg = replace(self, **updates)
+        if roles:
+            workers = roles.get("workers", self.workers)
+            servers = roles.get("servers", cfg.n_servers)
+            engines = roles.get("engines", cfg.n_engines)
+            cfg.size = workers + servers + engines
+            cfg.n_servers = servers
+            cfg.n_engines = engines
+        return cfg
 
 
 class Output:
@@ -91,6 +162,8 @@ class RunResult:
     server_stats: list[ServerStats] = field(default_factory=list)
     engine_stats: list[EngineStats] = field(default_factory=list)
     worker_stats: list[WorkerStats] = field(default_factory=list)
+    # Populated when the run was traced (trace=True / a session tracer).
+    trace: Any | None = None
 
     @property
     def stdout(self) -> str:
@@ -103,6 +176,18 @@ class RunResult:
     @property
     def tasks_run(self) -> int:
         return sum(w.tasks_run for w in self.worker_stats)
+
+    @property
+    def profile(self):
+        """Aggregated :class:`repro.obs.Profile` of the traced run."""
+        if self.trace is None:
+            raise RuntimeError(
+                "no trace collected for this run; enable tracing with "
+                "swift_run(..., trace=True) or `repro profile`"
+            )
+        from ..obs import Profile
+
+        return Profile.from_trace(self.trace)
 
 
 SetupFn = Callable[[Interp, RankContext, AdlbClient], None]
@@ -155,6 +240,11 @@ def run_turbine_program(
     """
     config = config or RuntimeConfig()
     layout = config.layout()
+    tracer = config.tracer
+    if tracer is None and config.trace:
+        from ..obs import Tracer
+
+        tracer = Tracer(capacity=config.trace_capacity)
     output = Output(echo=config.echo, trace=config.trace)
     server_stats: list[ServerStats] = []
     engine_stats: list[EngineStats] = []
@@ -166,12 +256,14 @@ def run_turbine_program(
         role = layout.role(rank)
         ctx = RankContext(layout=layout, role=role, output=output, config=config)
         if role == "server":
-            stats = Server(comm, layout, steal=config.steal).run()
+            stats = Server(
+                comm, layout, steal=config.steal, tracer=tracer
+            ).run()
             with stats_lock:
                 server_stats.append(stats)
             return
         if role == "engine":
-            engine = Engine(None, None)  # client/interp bound below
+            engine = Engine(None, None, tracer=tracer)  # client/interp below
             interp, client = make_client_interp(comm, layout, ctx, engine, setup)
             interp.eval(program)
             initial = entry if rank == layout.engines[0] else None
@@ -182,18 +274,39 @@ def run_turbine_program(
         # worker
         interp, client = make_client_interp(comm, layout, ctx, None, setup)
         interp.eval(program)
-        worker = Worker(client, interp, record_spans=config.record_spans)
+        worker = Worker(client, interp, tracer=tracer)
         stats = worker.serve()
         with stats_lock:
             worker_stats.append(stats)
 
     t0 = time.perf_counter()
-    run_world(config.size, main, recv_timeout=config.recv_timeout)
+    run_world(
+        config.size, main, recv_timeout=config.recv_timeout, tracer=tracer
+    )
     elapsed = time.perf_counter() - t0
+    trace = None
+    if tracer is not None:
+        from ..obs import RANK_DRIVER
+
+        tracer.complete(
+            RANK_DRIVER,
+            "run",
+            "run",
+            t0,
+            payload={"size": config.size, "entry": entry},
+        )
+        trace = tracer.freeze(
+            meta={
+                "roles": {r: layout.role(r) for r in range(config.size)},
+                "elapsed": elapsed,
+                "size": config.size,
+            }
+        )
     return RunResult(
         output=output,
         elapsed=elapsed,
         server_stats=server_stats,
         engine_stats=engine_stats,
         worker_stats=worker_stats,
+        trace=trace,
     )

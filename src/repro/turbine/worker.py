@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
+from typing import Any
 
 from ..adlb.client import AdlbClient
 from ..adlb.constants import WORK
@@ -12,22 +14,30 @@ from ..adlb.constants import WORK
 class WorkerStats:
     tasks_run: int = 0
     busy_time: float = 0.0
-    task_spans: list[tuple[float, float]] = field(default_factory=list)
 
 
 class Worker:
-    def __init__(self, client: AdlbClient, interp, record_spans: bool = False):
+    """Executes leaf tasks; per-task spans go to the run's tracer.
+
+    The old ``record_spans`` flag is gone: pass a
+    :class:`repro.obs.Tracer` instead and read spans back via
+    ``result.trace.spans("task")``.
+    """
+
+    def __init__(self, client: AdlbClient, interp, tracer: Any | None = None):
         self.client = client
         self.interp = interp
         self.stats = WorkerStats()
-        self.record_spans = record_spans
+        self.tracer = tracer
 
     def serve(self) -> WorkerStats:
-        import time
-
+        tracer = self.tracer
+        rank = self.client.rank
         while True:
             got = self.client.get((WORK,))
             if got is None:
+                if tracer is not None:
+                    tracer.metrics.fold_struct("worker", self.stats, rank=rank)
                 return self.stats
             _, payload = got
             t0 = time.perf_counter()
@@ -35,6 +45,8 @@ class Worker:
             t1 = time.perf_counter()
             self.stats.tasks_run += 1
             self.stats.busy_time += t1 - t0
-            if self.record_spans:
-                self.stats.task_spans.append((t0, t1))
+            if tracer is not None:
+                tracer.complete(
+                    rank, "task", "task", t0, t1, {"bytes": len(payload)}
+                )
             self.client.decr_work()

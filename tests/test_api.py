@@ -8,7 +8,13 @@ import numpy as np
 import pytest
 
 import repro
-from repro import CompiledProgram, SwiftRuntime, compile_swift, swift_run
+from repro import (
+    CompiledProgram,
+    RuntimeConfig,
+    SwiftRuntime,
+    compile_swift,
+    swift_run,
+)
 from repro.adlb.baselines import run_adlb_dynamic, run_static_round_robin
 
 
@@ -67,6 +73,89 @@ class TestPublicSurface:
             s.tasks_queued + s.tasks_matched for s in res.server_stats
         )
         assert total_queued > 0
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+        for name in ("RuntimeConfig", "RunResult", "Trace"):
+            assert name in repro.__all__
+
+
+class TestConfigPath:
+    """The redesigned RuntimeConfig-centric API."""
+
+    def test_runtime_config_of_role_counts(self):
+        cfg = RuntimeConfig.of(workers=5, servers=2, engines=1)
+        assert cfg.size == 8
+        assert cfg.workers == 5
+        assert cfg.n_servers == 2
+
+    def test_with_options_override_and_roles(self):
+        cfg = RuntimeConfig.of(workers=2).with_options(
+            workers=4, interp_mode="reinit"
+        )
+        assert cfg.workers == 4 and cfg.size == 6
+        assert cfg.interp_mode == "reinit"
+        # original untouched
+        assert RuntimeConfig.of(workers=2).interp_mode == "retain"
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(TypeError, match="recv_timout"):
+            RuntimeConfig.of().with_options(recv_timout=3.0)
+
+    def test_swift_run_unknown_kwarg_raises(self):
+        # regression: typo'd kwargs must not vanish silently
+        with pytest.raises(TypeError, match="interp_mod"):
+            swift_run('printf("x");', workers=2, interp_mod="reinit")
+        with pytest.raises(TypeError):
+            swift_run('printf("x");', ech=True)
+
+    def test_swift_run_accepts_config(self):
+        cfg = RuntimeConfig.of(workers=3)
+        res = swift_run('printf("via config");', config=cfg)
+        assert res.stdout_lines == ["via config"]
+        assert len(res.worker_stats) == 3
+
+    def test_swift_run_overrides_on_config(self):
+        cfg = RuntimeConfig.of(workers=1)
+        res = swift_run('printf("x");', config=cfg, workers=4)
+        assert len(res.worker_stats) == 4
+
+    def test_legacy_record_spans_maps_to_trace(self):
+        res = swift_run('printf("x");', workers=2, record_spans=True)
+        assert res.trace is not None
+
+    def test_from_config(self):
+        rt = SwiftRuntime.from_config(RuntimeConfig.of(workers=3))
+        assert rt.workers == 3
+        res = rt.run('printf("fc");')
+        assert res.stdout_lines == ["fc"]
+
+    def test_runtime_options_flow_through_swift_run(self):
+        res = swift_run('printf("x");', workers=2, recv_timeout=60.0)
+        assert res.stdout_lines == ["x"]
+
+
+class TestSession:
+    def test_session_runs_and_reuses_cache(self):
+        with SwiftRuntime(workers=2) as rt:
+            out1 = rt.run('printf("s");')
+            assert rt._cache is not None and len(rt._cache) == 1
+            out2 = rt.run('printf("s");')
+            assert len(rt._cache) == 1  # cache hit, not recompiled
+        assert out1.stdout_lines == out2.stdout_lines == ["s"]
+        assert rt._cache is None  # cleared on exit
+
+    def test_session_traced_merges_runs(self):
+        with SwiftRuntime(workers=2, trace=True) as rt:
+            rt.run('printf("a");')
+            rt.run('printf("b");')
+        assert len(rt.trace.spans("run")) == 2
+
+    def test_per_run_override_inside_session(self):
+        with SwiftRuntime(workers=1) as rt:
+            res = rt.run('printf("x");', workers=3)
+        assert len(res.worker_stats) == 3
 
 
 class TestBaselines:

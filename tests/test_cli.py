@@ -73,6 +73,41 @@ class TestRun:
         assert "total=10" in capsys.readouterr().out
 
 
+class TestProfile:
+    def test_profile_prints_breakdown(self, demo_swift, capsys):
+        assert main(["profile", demo_swift, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "per-category time" in out
+        assert "counters:" in out
+        assert "adlb.tasks_matched" in out
+
+    def test_profile_writes_chrome_json(self, demo_swift, tmp_path, capsys):
+        import json
+
+        chrome = str(tmp_path / "out.trace.json")
+        assert main(["profile", demo_swift, "--chrome", chrome]) == 0
+        doc = json.loads(open(chrome).read())
+        assert doc["traceEvents"], "no events exported"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases >= {"M", "X"}
+
+    def test_trace_writes_default_path(self, demo_swift, capsys):
+        import json
+
+        assert main(["trace", demo_swift]) == 0
+        out_path = demo_swift.replace(".swift", ".trace.json")
+        assert os.path.exists(out_path)
+        doc = json.loads(open(out_path).read())
+        assert doc["traceEvents"]
+        assert "trace written to" in capsys.readouterr().out
+
+    def test_run_trace_flag_reports(self, demo_swift, capsys):
+        assert main(["run", demo_swift, "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert "total=6" in captured.out
+        assert "per-category time" in captured.err
+
+
 class TestSubmit:
     def test_submit_slurm(self, demo_swift, capsys):
         assert main(

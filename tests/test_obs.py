@@ -1,0 +1,252 @@
+"""The repro.obs tracing/metrics layer."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+import repro
+from repro import RuntimeConfig, SwiftRuntime, swift_run
+from repro.obs import Metrics, Profile, Trace, TraceEvent, Tracer
+
+PROGRAM = """
+foreach i in [0:5] {
+    string o = python(strcat("x = ", fromint(i), " * 2"), "x");
+    printf("d(%i)=%s", i, o);
+}
+"""
+
+SEQUENTIAL = 'printf("one line only");'
+
+
+class TestTracer:
+    def test_instant_and_complete(self):
+        tr = Tracer()
+        tr.instant(0, "c", "i", {"k": 1})
+        t0 = tr.now()
+        time.sleep(0.002)
+        tr.complete(1, "c", "s", t0)
+        trace = tr.freeze()
+        assert len(trace) == 2
+        inst, span = trace.events
+        assert inst.dur == 0.0 and inst.payload == {"k": 1}
+        assert span.dur >= 0.002 and span.rank == 1
+
+    def test_span_nesting(self):
+        tr = Tracer()
+        with tr.span(0, "c", "outer"):
+            with tr.span(0, "c", "inner"):
+                time.sleep(0.002)
+        trace = tr.freeze()
+        inner, outer = sorted(trace.spans(), key=lambda e: e.dur)
+        assert inner.name == "inner" and outer.name == "outer"
+        # the outer span fully contains the inner one
+        assert outer.t <= inner.t
+        assert outer.end >= inner.end
+
+    def test_ring_buffer_drops_oldest(self):
+        tr = Tracer(capacity=8)
+        for i in range(20):
+            tr.instant(0, "c", "e%d" % i)
+        trace = tr.freeze()
+        assert len(trace) == 8
+        assert trace.dropped == 12
+        assert trace.events[-1].name == "e19"  # newest survive
+
+    def test_freeze_sorts_by_time(self):
+        tr = Tracer()
+        t0 = tr.now()
+        tr.instant(0, "c", "later")
+        tr.complete(0, "c", "earlier", t0)  # starts before the instant
+        names = [e.name for e in tr.freeze().events]
+        assert names == ["earlier", "later"]
+
+
+class TestTrace:
+    def _sample(self) -> Trace:
+        tr = Tracer()
+        tr.instant(0, "adlb", "put")
+        t0 = tr.now()
+        tr.complete(1, "task", "task", t0, t0 + 0.5)
+        tr.complete(2, "task", "task", t0, t0 + 0.25)
+        return tr.freeze(meta={"elapsed": 1.0, "roles": {1: "worker", 2: "worker"}})
+
+    def test_filters_and_totals(self):
+        trace = self._sample()
+        assert len(trace.spans("task")) == 2
+        assert len(trace.instants("adlb")) == 1
+        cats = trace.by_category()
+        assert cats["task"].spans == 2
+        assert cats["task"].total_dur == pytest.approx(0.75)
+        assert cats["adlb"].count == 1 and cats["adlb"].total_dur == 0.0
+
+    def test_chrome_schema(self, tmp_path):
+        trace = self._sample()
+        doc = trace.to_chrome()
+        assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {m["args"]["name"] for m in metas} == {
+            "rank 0 (rank)",
+            "rank 1 (worker)",
+            "rank 2 (worker)",
+        }
+        assert len(spans) == 2 and len(instants) == 1
+        for e in spans:
+            assert e["dur"] > 0 and isinstance(e["tid"], int)
+            assert e["ts"] >= 0  # microseconds since epoch
+        path = tmp_path / "t.json"
+        trace.save_chrome(str(path))
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == len(events)
+
+    def test_profile_aggregation(self):
+        prof = Profile.from_trace(self._sample())
+        assert prof.wall == pytest.approx(1.0)
+        by_rank = {w.rank: w for w in prof.workers}
+        assert by_rank[1].utilization == pytest.approx(0.5)
+        assert by_rank[2].utilization == pytest.approx(0.25)
+        assert prof.efficiency == pytest.approx(0.375)
+        text = prof.render()
+        assert "per-category time" in text
+        assert "worker utilization" in text
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        m = Metrics()
+        m.count("a", 2)
+        m.count("a")
+        m.gauge_max("g", 5)
+        m.gauge_max("g", 3)
+        m.observe("h", 1.0)
+        m.observe("h", 3.0)
+        snap = m.snapshot()
+        assert snap["counters"]["a"] == 3
+        assert snap["gauges"]["g"] == 5
+        assert snap["histograms"]["h"] == {
+            "count": 2,
+            "total": 4.0,
+            "min": 1.0,
+            "max": 3.0,
+            "mean": 2.0,
+        }
+
+    def test_fold_struct_sums_across_ranks(self):
+        from repro.turbine.worker import WorkerStats
+
+        m = Metrics()
+        m.fold_struct("worker", WorkerStats(tasks_run=3, busy_time=0.5), rank=1)
+        m.fold_struct("worker", WorkerStats(tasks_run=2, busy_time=0.25), rank=2)
+        snap = m.snapshot()
+        assert snap["counters"]["worker.tasks_run"] == 5
+        assert snap["gauges"]["worker.tasks_run[1]"] == 3
+        assert snap["gauges"]["worker.tasks_run[2]"] == 2
+
+
+class TestTracedRuns:
+    def test_untraced_run_has_no_trace(self):
+        res = swift_run(SEQUENTIAL, workers=2)
+        assert res.trace is None
+        with pytest.raises(RuntimeError, match="trace=True"):
+            res.profile
+
+    def test_on_off_output_parity(self):
+        off = swift_run(SEQUENTIAL, workers=2)
+        on = swift_run(SEQUENTIAL, workers=2, trace=True)
+        assert on.stdout == off.stdout
+        assert on.stdout_lines == off.stdout_lines
+        assert on.tasks_run == off.tasks_run
+
+    def test_no_tracer_constructed_when_disabled(self, monkeypatch):
+        """The disabled path must never even build a Tracer."""
+
+        def boom(*a, **k):
+            raise AssertionError("Tracer constructed on the disabled path")
+
+        monkeypatch.setattr(repro.obs, "Tracer", boom)
+        res = swift_run(PROGRAM, workers=2)
+        assert res.trace is None
+        assert len(res.stdout_lines) == 6
+
+    def test_traced_run_covers_all_layers(self):
+        res = swift_run(PROGRAM, workers=2, trace=True)
+        cats = res.trace.by_category()
+        for cat in ("mpi", "adlb", "rule", "engine", "task", "compile", "run"):
+            assert cat in cats, "missing category %r" % cat
+        # one task span per leaf task, on worker ranks
+        task_spans = res.trace.spans("task")
+        assert len(task_spans) == res.tasks_run == 6
+        roles = res.trace.meta["roles"]
+        assert all(roles[e.rank] == "worker" for e in task_spans)
+
+    def test_metrics_absorb_server_stats(self):
+        res = swift_run(PROGRAM, workers=2, trace=True)
+        counters = res.trace.metrics["counters"]
+        assert counters["adlb.tasks_matched"] == sum(
+            s.tasks_matched for s in res.server_stats
+        )
+        assert counters["worker.tasks_run"] == res.tasks_run
+        assert counters["mpi.sends"] == counters["mpi.recvs"] > 0
+        assert counters["engine.rules_created"] == sum(
+            e.rules_created for e in res.engine_stats
+        )
+
+    def test_trace_capacity_option(self):
+        res = swift_run(PROGRAM, workers=2, trace=True, trace_capacity=64)
+        assert len(res.trace) == 64
+        assert res.trace.dropped > 0
+
+    def test_profile_worker_utilization_ranks(self):
+        res = swift_run(PROGRAM, workers=3, trace=True)
+        prof = res.profile
+        worker_ranks = {
+            r for r, role in res.trace.meta["roles"].items() if role == "worker"
+        }
+        assert {w.rank for w in prof.workers} == worker_ranks
+        assert sum(w.tasks for w in prof.workers) == res.tasks_run
+        assert 0.0 <= prof.efficiency <= 1.0
+
+    def test_targeted_match_counters(self):
+        res = swift_run(PROGRAM, workers=2, trace=True)
+        total = sum(s.tasks_matched for s in res.server_stats)
+        targeted = sum(s.tasks_matched_targeted for s in res.server_stats)
+        assert 0 <= targeted <= total
+
+
+class TestSessionTracing:
+    def test_session_shares_trace_sink(self):
+        cfg = RuntimeConfig.of(workers=2, trace=True)
+        with SwiftRuntime.from_config(cfg) as rt:
+            r1 = rt.run(SEQUENTIAL)
+            n1 = len(r1.trace)
+            r2 = rt.run(SEQUENTIAL)
+            n2 = len(r2.trace)
+        assert n2 > n1  # second snapshot contains both runs
+        assert rt.trace is not None and len(rt.trace) >= n2
+        # two run spans in the merged session trace
+        assert len(rt.trace.spans("run")) == 2
+
+    def test_session_compile_cache(self):
+        calls = []
+        import repro.api as api_mod
+
+        orig = api_mod.compile_swift
+
+        def counting(source, **kw):
+            calls.append(source)
+            return orig(source, **kw)
+
+        with SwiftRuntime(workers=2) as rt:
+            rt_compile = api_mod.compile_swift
+            api_mod.compile_swift = counting
+            try:
+                rt.run(SEQUENTIAL)
+                rt.run(SEQUENTIAL)
+            finally:
+                api_mod.compile_swift = rt_compile
+        assert len(calls) == 1  # second run hit the cache
