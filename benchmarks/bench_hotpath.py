@@ -1,0 +1,184 @@
+"""HOTPATH — the compile-and-cache execution fast path.
+
+Measures the two layers added by the fast-path work against the same
+build with the optimizations switched off:
+
+* **Tcl layer** — per-command compiled forms (literal argv, direct
+  substitution closures, epoch-guarded command-pointer caches, expr
+  AST specialization, proc tail-return elimination) versus the
+  interpreted walk (``Interp(compile_enabled=False)``).
+* **Runtime layer** — a compute-bound Swift program run end-to-end
+  with ``tcl_compile``/``read_cache``/``batch_refcounts`` on versus
+  off.
+
+``benchmarks/record.py`` reuses the ``measure_*`` functions here to
+write the committed ``BENCH_hotpath.json`` snapshot.
+
+Note on methodology: timings use best-of-rounds on a private
+interpreter per round; deep *binary* Tcl recursion (fib-style) is
+deliberately excluded because its wall time swings ±50% with the
+initial Python stack depth (CPython frame-stack chunk boundaries),
+which drowns the effect being measured.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import swift_run
+from repro.tcl.interp import Interp
+
+# Proc-dispatch-heavy: 16 proc calls per loop iteration, exercising
+# argument binding, tail returns, and [cmd] substitution closures.
+PROC_PRELUDE = """
+proc ping {x} { return $x }
+proc pong {a b} { return $b }
+proc chain {x} {
+    set v [ping [pong [ping $x] [ping [ping [pong $x [ping $x]]]]]]
+    set v [ping [pong [ping $v] [ping [ping [pong $v [ping $v]]]]]]
+    return [ping [ping $v]]
+}
+proc drive {n} {
+    set out {}
+    for {set i 0} {$i < $n} {incr i} { set out [chain $i] }
+    return $out
+}
+"""
+PROC_CALL = "drive 50"
+
+# Loop/expr-heavy: compiled loop bodies and specialized literal exprs.
+EXPR_PRELUDE = """
+proc sumsq {n} {
+    set total 0
+    for {set i 0} {$i < $n} {incr i} {
+        set total [expr {$total + $i * $i}]
+    }
+    return $total
+}
+"""
+EXPR_CALL = "sumsq 400"
+
+# Compute-bound dataflow fan-out for the end-to-end comparison (no
+# sleeps): every iteration task retrieves the same shared futures
+# (read-cache hits after the first) and drops read references on its
+# inputs (coalesced by refcount batching).
+E2E_PROGRAM = """
+int n = 17;
+int m = n * 3 + 2;
+foreach i in [0:199] {
+    int a = i * n + m;
+    if (a %% 7 == 0) { printf("hit %%i", i); }
+}
+""".replace("%%", "%")
+E2E_EXPECTED = sorted(
+    "hit %d" % i for i in range(200) if (i * 17 + 17 * 3 + 2) % 7 == 0
+)
+
+
+def _time_tcl(prelude: str, call: str, compile_enabled: bool, iters: int) -> float:
+    interp = Interp(compile_enabled=compile_enabled)
+    interp.echo = False
+    interp.eval(prelude)
+    interp.eval(call)  # warm parse/compile caches
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        interp.eval(call)
+    return time.perf_counter() - t0
+
+
+def measure_tcl(
+    prelude: str, call: str, iters: int = 60, rounds: int = 3
+) -> dict:
+    """Best-of-rounds compiled vs interpreted timing for one workload."""
+    compiled = min(_time_tcl(prelude, call, True, iters) for _ in range(rounds))
+    interpreted = min(_time_tcl(prelude, call, False, iters) for _ in range(rounds))
+    return {
+        "compiled_s": compiled,
+        "interpreted_s": interpreted,
+        "speedup": interpreted / compiled,
+        "iters": iters,
+    }
+
+
+def measure_end_to_end(rounds: int = 3, workers: int = 2) -> dict:
+    """End-to-end runtime with the fast-path optimizations on vs off."""
+
+    def run(**flags) -> float:
+        t0 = time.perf_counter()
+        res = swift_run(E2E_PROGRAM, workers=workers, **flags)
+        elapsed = time.perf_counter() - t0
+        assert sorted(res.stdout_lines) == E2E_EXPECTED
+        return elapsed
+
+    on = min(run() for _ in range(rounds))
+    off = min(
+        run(tcl_compile=False, read_cache=False, batch_refcounts=False)
+        for _ in range(rounds)
+    )
+    return {
+        "optimized_s": on,
+        "unoptimized_s": off,
+        "speedup": off / on,
+        "workers": workers,
+    }
+
+
+def test_proc_dispatch_speedup(benchmark):
+    """The headline criterion: >= 2x on a Tcl-proc-heavy microbenchmark."""
+    result = measure_tcl(PROC_PRELUDE, PROC_CALL)
+    benchmark.pedantic(
+        _time_tcl, args=(PROC_PRELUDE, PROC_CALL, True, 30), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert result["speedup"] >= 2.0, (
+        "compiled proc dispatch only %.2fx faster than interpreted "
+        "(compiled %.4fs, interpreted %.4fs)"
+        % (result["speedup"], result["compiled_s"], result["interpreted_s"])
+    )
+
+
+def test_expr_loop_speedup(benchmark):
+    """Compiled loop bodies + specialized exprs beat the interpreted walk."""
+    result = measure_tcl(EXPR_PRELUDE, EXPR_CALL)
+    benchmark.pedantic(
+        _time_tcl, args=(EXPR_PRELUDE, EXPR_CALL, True, 30), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert result["speedup"] >= 1.2, (
+        "compiled expr loop only %.2fx faster than interpreted"
+        % result["speedup"]
+    )
+
+
+def test_end_to_end_hotpath(benchmark):
+    """The full runtime with all fast paths on must not lose to off.
+
+    The threshold is deliberately loose (>= 0.9x): end-to-end time is
+    dominated by thread scheduling, so this guards against a real
+    regression while record.py captures the typical improvement.
+    """
+    result = measure_end_to_end(rounds=2)
+    benchmark.pedantic(
+        lambda: swift_run(E2E_PROGRAM, workers=2), rounds=2, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert result["speedup"] >= 0.9, (
+        "fast-path-on end-to-end run regressed: %.2fx vs off"
+        % result["speedup"]
+    )
+
+
+def test_cache_metrics_exposed():
+    """A traced run exposes the compile/read-cache counters in metrics."""
+    res = swift_run(E2E_PROGRAM, workers=2, trace=True)
+    counters = res.trace.metrics["counters"]
+    assert counters.get("tcl.compile.hits", 0) > 0
+    assert counters.get("tcl.compile.misses", 0) > 0
+    assert "adlb.retrieve_cache.hits" in counters
+    assert counters.get("adlb.retrieve_cache.misses", 0) > 0
+
+
+if __name__ == "__main__":
+    print("proc :", measure_tcl(PROC_PRELUDE, PROC_CALL))
+    print("expr :", measure_tcl(EXPR_PRELUDE, EXPR_CALL))
+    print("e2e  :", measure_end_to_end())

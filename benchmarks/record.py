@@ -1,0 +1,48 @@
+"""Record the hot-path benchmark numbers into BENCH_hotpath.json.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record.py
+
+Reuses the ``measure_*`` functions from :mod:`bench_hotpath` so the
+committed snapshot and the pytest assertions measure the same thing.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_hotpath import (  # noqa: E402
+    EXPR_CALL,
+    EXPR_PRELUDE,
+    PROC_CALL,
+    PROC_PRELUDE,
+    measure_end_to_end,
+    measure_tcl,
+)
+
+OUT = Path(__file__).parent.parent / "BENCH_hotpath.json"
+
+
+def main() -> None:
+    results = {
+        "recorded": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "tcl_proc_dispatch": measure_tcl(PROC_PRELUDE, PROC_CALL),
+        "tcl_expr_loop": measure_tcl(EXPR_PRELUDE, EXPR_CALL),
+        "end_to_end": measure_end_to_end(rounds=5),
+    }
+    OUT.write_text(json.dumps(results, indent=2) + "\n")
+    for name in ("tcl_proc_dispatch", "tcl_expr_loop", "end_to_end"):
+        print("%-18s %.2fx" % (name, results[name]["speedup"]))
+    print("wrote", OUT)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,12 +3,32 @@
 Wraps the RPC protocol: work ops go to the rank's attached server, data
 ops are routed to each TD's home server, and termination-counter ops go
 to the master server.
+
+Two hot-path optimizations (both off by default; the runtime enables
+them via :class:`repro.turbine.runtime.RuntimeConfig`):
+
+* **Immutable-read cache** — servers tag every retrieve reply with a
+  ``closed`` bit; closed values are single-assignment and can never
+  change, so the client memoizes them in a bounded LRU and answers
+  repeat retrieves without a round trip.  Entries are evicted when the
+  client itself drops a read reference and when a (batched) refcount
+  reply reports the TD freed.  Safe because TD ids are allocated
+  monotonically and never reused.
+* **Batched refcounts** — read-refcount decrements and write-refcount
+  decrements are coalesced per TD id and flushed as one RPC per home
+  server at task boundaries (:meth:`flush_refcounts`), instead of one
+  blocking round trip per ``read_refcount_decr``.  Write-refcount
+  *increments* always apply immediately: generated code increments a
+  container's write count before handing out slots, and deferring that
+  would let the container close early.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
+from ..lru import LRUCache
 from ..mpi import Comm
 from . import constants as C
 from .layout import Layout
@@ -18,14 +38,46 @@ class AdlbError(RuntimeError):
     pass
 
 
+_MISSING = object()
+
+
+@dataclass
+class ClientDataStats:
+    """Counters folded into metrics as ``adlb.retrieve_cache.*``."""
+
+    hits: int = 0  # retrieves answered from the local immutable cache
+    misses: int = 0  # retrieves that went to the server
+    evictions: int = 0  # entries dropped by refcount GC (not LRU pressure)
+    refcount_batches: int = 0  # flush RPCs sent
+    refcount_batched_ops: int = 0  # deltas coalesced into those batches
+
+
 class AdlbClient:
-    def __init__(self, comm: Comm, layout: Layout):
+    def __init__(
+        self,
+        comm: Comm,
+        layout: Layout,
+        read_cache: bool = False,
+        batch_refcounts: bool = False,
+        cache_capacity: int = 4096,
+    ):
         self.comm = comm
         self.layout = layout
         self.rank = comm.rank
         self.my_server = layout.my_server(self.rank)
         self._id_next = 0
         self._id_limit = 0
+        self.read_cache_enabled = read_cache
+        self.batch_refcounts = batch_refcounts
+        # (id, subscript) -> immutable value
+        self._read_cache: LRUCache[tuple[int, str | None], Any] = LRUCache(
+            cache_capacity
+        )
+        # id -> [read_delta, write_delta] pending flush
+        self._pending_refcounts: dict[int, list[int]] = {}
+        # ids with cached container-member entries (eviction index)
+        self._sub_ids: set[int] = set()
+        self.data_stats = ClientDataStats()
 
     # ------------------------------------------------------------------- RPC
 
@@ -76,6 +128,7 @@ class AdlbClient:
         requires (a server only exits once every attached client is
         parked or has been told to shut down).
         """
+        self.flush_refcounts()  # task boundary: land deferred decrements
         self.comm.send(
             {"op": C.OP_GET, "types": list(types)}, self.my_server, C.TAG_REQUEST
         )
@@ -90,6 +143,7 @@ class AdlbClient:
 
     def park_async(self, types: tuple[str, ...] = (C.CONTROL,)) -> None:
         """Engine-style parked get; delivery arrives on the async channel."""
+        self.flush_refcounts()  # task boundary: land deferred decrements
         self._oneway(self.my_server, {"op": C.OP_GET_ASYNC, "types": list(types)})
 
     def recv_async(self) -> tuple:
@@ -137,6 +191,11 @@ class AdlbClient:
         subscript: str | None = None,
         decr_write: int = 1,
     ) -> None:
+        if self.read_cache_enabled and subscript is not None:
+            # A member insert invalidates any cached whole-container
+            # snapshot (possible with decr_write=0 after a snapshot).
+            if self._read_cache.pop((id, None)) is not None:
+                self.data_stats.evictions += 1
         self._rpc(
             self.layout.home_server(id),
             {
@@ -149,10 +208,29 @@ class AdlbClient:
         )
 
     def retrieve(self, id: int, subscript: str | None = None) -> Any:
-        return self._rpc(
+        if self.read_cache_enabled:
+            key = (id, subscript)
+            cached = self._read_cache.get(key, _MISSING)
+            if cached is not _MISSING:
+                self.data_stats.hits += 1
+                # Containers are cached as dict snapshots; hand out a
+                # copy so callers can't mutate the cached entry.
+                return dict(cached) if type(cached) is dict else cached
+            value, closed = self._rpc(
+                self.layout.home_server(id),
+                {"op": C.OP_RETRIEVE, "id": id, "subscript": subscript},
+            )
+            self.data_stats.misses += 1
+            if closed:
+                self._read_cache.put(key, value)
+                if subscript is not None:
+                    self._sub_ids.add(id)
+            return value
+        value, _closed = self._rpc(
             self.layout.home_server(id),
             {"op": C.OP_RETRIEVE, "id": id, "subscript": subscript},
         )
+        return value
 
     def exists(self, id: int, subscript: str | None = None) -> bool:
         return self._rpc(
@@ -187,7 +265,36 @@ class AdlbClient:
         )
 
     def refcount(self, id: int, read_delta: int = 0, write_delta: int = 0) -> None:
-        self._rpc(
+        if read_delta < 0:
+            # This client gave up a read reference: never serve the
+            # value from cache again, whether or not the TD survives.
+            self._evict_id(id)
+        if self.batch_refcounts:
+            # Defer decrements to the task-boundary flush.  Positive
+            # write deltas must go out immediately: generated code adds
+            # writer slots *before* handing them out, and a deferred
+            # increment could let the TD close under an in-flight slot.
+            if write_delta > 0:
+                self._rpc(
+                    self.layout.home_server(id),
+                    {
+                        "op": C.OP_REFCOUNT,
+                        "id": id,
+                        "read_delta": 0,
+                        "write_delta": write_delta,
+                    },
+                )
+                write_delta = 0
+            if read_delta == 0 and write_delta == 0:
+                return
+            pending = self._pending_refcounts.get(id)
+            if pending is None:
+                self._pending_refcounts[id] = [read_delta, write_delta]
+            else:
+                pending[0] += read_delta
+                pending[1] += write_delta
+            return
+        reply = self._rpc(
             self.layout.home_server(id),
             {
                 "op": C.OP_REFCOUNT,
@@ -196,6 +303,52 @@ class AdlbClient:
                 "write_delta": write_delta,
             },
         )
+        if isinstance(reply, dict) and reply.get("freed"):
+            self._evict_id(id)
+
+    def flush_refcounts(self) -> None:
+        """Send pending refcount deltas, one batched RPC per home server.
+
+        Called at task boundaries (after a worker task, a fired LOCAL
+        rule, or a control task) so every deferred decrement lands
+        before the matching termination-counter decrement.
+        """
+        if not self._pending_refcounts:
+            return
+        pending = self._pending_refcounts
+        self._pending_refcounts = {}
+        by_server: dict[int, list[dict]] = {}
+        for id, (read_delta, write_delta) in pending.items():
+            if read_delta == 0 and write_delta == 0:
+                continue
+            by_server.setdefault(self.layout.home_server(id), []).append(
+                {"id": id, "read_delta": read_delta, "write_delta": write_delta}
+            )
+        for server, ops in by_server.items():
+            reply = self._rpc(server, {"op": C.OP_REFCOUNT_BATCH, "ops": ops})
+            self.data_stats.refcount_batches += 1
+            self.data_stats.refcount_batched_ops += len(ops)
+            for id in reply.get("freed", ()):
+                self._evict_id(id)
+
+    def _evict_id(self, id: int) -> None:
+        """Drop every cache entry belonging to a TD (scalar + members).
+
+        The subscript-id index keeps the common case (scalar TDs) a
+        single dict pop instead of a full cache scan.
+        """
+        if not self.read_cache_enabled:
+            return
+        n = 0
+        if self._read_cache.pop((id, None)) is not None:
+            n += 1
+        if id in self._sub_ids:
+            self._sub_ids.discard(id)
+            stale = [k for k in self._read_cache.keys() if k[0] == id]
+            for k in stale:
+                self._read_cache.pop(k)
+            n += len(stale)
+        self.data_stats.evictions += n
 
     # ----------------------------------------------------------- termination
 

@@ -61,6 +61,7 @@ _DATA_OPS = {
     C.OP_CONTAINER_REF,
     C.OP_ENUMERATE,
     C.OP_REFCOUNT,
+    C.OP_REFCOUNT_BATCH,
     C.OP_TYPEOF,
 }
 
@@ -243,7 +244,11 @@ class Server:
             return None
         if op == C.OP_RETRIEVE:
             self.stats.data_ops += 1
-            return self.store.retrieve(msg["id"], subscript=msg.get("subscript"))
+            # Reply is (value, closed): the closed bit marks the value
+            # immutable, licensing the client to cache it locally.
+            return self.store.retrieve_tagged(
+                msg["id"], subscript=msg.get("subscript")
+            )
         if op == C.OP_EXISTS:
             self.stats.data_ops += 1
             return self.store.exists(msg["id"], subscript=msg.get("subscript"))
@@ -271,7 +276,27 @@ class Server:
                 write_delta=msg.get("write_delta", 0),
             )
             self._emit(notes, [])
-            return None
+            # freed: the read refcount dropped the TD; clients evict it
+            # from their retrieve caches.
+            return {"freed": msg["id"] not in self.store.tds}
+        if op == C.OP_REFCOUNT_BATCH:
+            # Coalesced refcount deltas from one client task (one entry
+            # per id).  Ops are applied in order; if one fails, the
+            # preceding ops stay applied and the error is reported for
+            # the whole batch — matching the per-op RPC failure the
+            # client would have seen at its deferred call site.
+            self.stats.data_ops += 1
+            freed: list[int] = []
+            for item in msg["ops"]:
+                notes = self.store.refcount(
+                    item["id"],
+                    read_delta=item.get("read_delta", 0),
+                    write_delta=item.get("write_delta", 0),
+                )
+                self._emit(notes, [])
+                if item["id"] not in self.store.tds:
+                    freed.append(item["id"])
+            return {"freed": freed}
         if op == C.OP_INCR_WORK:
             assert self.is_master
             self.work_count += msg.get("amount", 1)

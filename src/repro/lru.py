@@ -1,0 +1,80 @@
+"""A small bounded LRU cache shared by the hot-path caches.
+
+Used by the Tcl script parse cache, the ``expr`` AST cache, each
+interpreter's compiled-script cache, and the ADLB client's
+immutable-read cache.  Eviction is one-at-a-time least-recently-used —
+never a full clear, which would cause a thundering re-parse/re-fetch of
+every live entry (the bug this replaced in ``parse_cached``).
+
+Plain dict preserves insertion order in CPython; ``get`` re-inserts the
+key to mark it most-recently-used, and ``put`` evicts from the front.
+Not thread-safe; every user owns its cache from a single thread (the
+module-level parse/AST caches are only mutated under the GIL with
+atomic dict ops, which is sufficient for their use).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterator, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache(Generic[K, V]):
+    __slots__ = ("capacity", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("LRU capacity must be >= 1")
+        self.capacity = capacity
+        self._data: dict[K, V] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def get(self, key: K, default: Any = None) -> V | Any:
+        data = self._data
+        value = data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        # Move to most-recently-used position.
+        del data[key]
+        data[key] = value
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self.capacity:
+            # Evict exactly one entry: the least recently used.
+            del data[next(iter(data))]
+            self.evictions += 1
+        data[key] = value
+
+    def get_or_compute(self, key: K, compute: Callable[[], V]) -> V:
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def pop(self, key: K) -> V | None:
+        return self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def keys(self) -> Iterator[K]:
+        return iter(self._data)

@@ -25,6 +25,17 @@ _FALSE_WORDS = {"false", "no", "off"}
 
 def parse_number(s: str) -> Num | None:
     """Parse a Tcl numeric literal; None if not numeric."""
+    # Fast path: plain decimal integers are the overwhelmingly common
+    # case on the hot expr path ($var operands round-trip as strings).
+    # int() accepts Python's "1_0" digit grouping, which Tcl does not —
+    # reject those before returning.
+    try:
+        v = int(s, 10)
+        if "_" not in s:
+            return v
+        return None
+    except ValueError:
+        pass
     t = s.strip()
     if not t:
         return None
@@ -338,16 +349,24 @@ class _Parser:
         raise TclError("unexpected token %r in expression" % text)
 
 
-_AST_CACHE: dict[str, tuple] = {}
+# Bounded LRU (shared helper with the script parse cache); a full
+# clear here used to stall every cached loop/rule condition at once.
+from ..lru import LRUCache
+
+_AST_CACHE: LRUCache[str, tuple] = LRUCache(4096)
 
 
-def _compile(s: str) -> tuple:
+def compile_expr(s: str) -> tuple:
+    """Parse an expression into its cached AST (the compiled form).
+
+    Loop commands call this once per loop and then evaluate the node
+    directly via :func:`eval_node`, skipping the per-iteration cache
+    lookup.
+    """
     node = _AST_CACHE.get(s)
     if node is None:
         node = _Parser(_tokenize(s)).parse()
-        if len(_AST_CACHE) > 4096:
-            _AST_CACHE.clear()
-        _AST_CACHE[s] = node
+        _AST_CACHE.put(s, node)
     return node
 
 
@@ -474,29 +493,31 @@ def eval_expr(interp, text: str) -> Any:
     Returns an int/float/str value (not yet stringified); ``expr`` the
     command stringifies via :func:`to_string`.
     """
-    node = _compile(text)
+    node = _AST_CACHE.get(text)
+    stats = getattr(interp, "cache_stats", None)
+    if node is None:
+        node = _Parser(_tokenize(text)).parse()
+        _AST_CACHE.put(text, node)
+        if stats is not None:
+            stats.expr_misses += 1
+    elif stats is not None:
+        stats.expr_hits += 1
+    return _eval_node(interp, node)
+
+
+def eval_node(interp, node: tuple) -> Any:
+    """Evaluate a pre-compiled expression AST (see :func:`compile_expr`)."""
     return _eval_node(interp, node)
 
 
 def _eval_node(interp, node: tuple) -> Any:
+    # Branch order tracks hot-path frequency: operands ($var, literals)
+    # and binary operators dominate compiled rule/loop conditions.
     kind = node[0]
-    if kind == "num":
-        return node[1]
-    if kind == "str":
-        return node[1]
     if kind == "var":
         return coerce(interp.get_var(node[1]))
-    if kind == "cmdsub":
-        return coerce(interp.eval(node[1]))
-    if kind == "un":
-        op = node[1]
-        v = _eval_node(interp, node[2])
-        if op == "!":
-            return 0 if truthy(v) else 1
-        if op == "~":
-            return ~_need_int(v, op)
-        x = _need_num(v, op)
-        return -x if op == "-" else +x
+    if kind == "num":
+        return node[1]
     if kind == "bin":
         op = node[1]
         if op == "&&":
@@ -510,6 +531,19 @@ def _eval_node(interp, node: tuple) -> Any:
         a = _eval_node(interp, node[2])
         b = _eval_node(interp, node[3])
         return _eval_bin(op, a, b)
+    if kind == "str":
+        return node[1]
+    if kind == "cmdsub":
+        return coerce(interp.eval(node[1]))
+    if kind == "un":
+        op = node[1]
+        v = _eval_node(interp, node[2])
+        if op == "!":
+            return 0 if truthy(v) else 1
+        if op == "~":
+            return ~_need_int(v, op)
+        x = _need_num(v, op)
+        return -x if op == "-" else +x
     if kind == "tern":
         if truthy(_eval_node(interp, node[1])):
             return _eval_node(interp, node[2])

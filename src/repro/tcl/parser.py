@@ -303,9 +303,12 @@ def parse_script(script: str) -> list[Command]:
 
 
 # --- parse cache ---------------------------------------------------------
+# Bounded LRU: a full clear at capacity would cause a thundering
+# re-parse of every live proc body the next time each one runs.
 
-_CACHE: dict[str, list[Command]] = {}
-_CACHE_MAX = 4096
+from ..lru import LRUCache
+
+_CACHE: LRUCache[str, list[Command]] = LRUCache(4096)
 
 
 def parse_cached(script: str) -> list[Command]:
@@ -313,7 +316,5 @@ def parse_cached(script: str) -> list[Command]:
     cached = _CACHE.get(script)
     if cached is None:
         cached = parse_script(script)
-        if len(_CACHE) >= _CACHE_MAX:
-            _CACHE.clear()
-        _CACHE[script] = cached
+        _CACHE.put(script, cached)
     return cached

@@ -133,6 +133,9 @@ class Engine:
                         t0,
                         payload={"id": rule.id, "name": rule.name},
                     )
+                # Deferred refcount decrements land before the rule's
+                # accounting unit (they can close TDs and fire rules).
+                self.client.flush_refcounts()
                 self.client.decr_work()  # the rule's accounting unit
             else:
                 # The rule's accounting unit transfers to the task; the
@@ -172,6 +175,7 @@ class Engine:
                 with tracer.span(rank, "engine", "program"):
                     self.interp.eval(initial_script)
             self.drain()
+            self.client.flush_refcounts()
             self.client.decr_work()
         while True:
             self.drain()
@@ -196,12 +200,15 @@ class Engine:
                     with tracer.span(rank, "engine", "ctask"):
                         self.interp.eval(msg[2])
                 self.drain()
-                self.client.park_async((CONTROL,))
+                self.client.park_async((CONTROL,))  # also flushes refcounts
                 self.client.decr_work()
             elif kind == "shutdown":
                 break
             else:
                 raise RuntimeError("engine: unexpected async message %r" % (msg,))
         if tracer is not None:
+            from .worker import fold_cache_stats
+
             tracer.metrics.fold_struct("engine", self.stats, rank=rank)
+            fold_cache_stats(tracer, self.client, self.interp, rank)
         return self.stats

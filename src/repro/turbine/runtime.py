@@ -62,6 +62,14 @@ class RuntimeConfig:
     # (paper §III-C): "retain" keeps state across tasks, "reinit"
     # reinitializes per task.
     interp_mode: str = "retain"
+    # --- hot-path optimizations (all on by default) -----------------
+    # Compile-and-cache Tcl execution: per-command specialized forms
+    # with epoch-invalidated command-pointer caches.
+    tcl_compile: bool = True
+    # Client-side memoization of closed (immutable) TD values.
+    read_cache: bool = True
+    # Coalesce refcount decrements per TD, flushed at task boundaries.
+    batch_refcounts: bool = True
     # Program arguments, readable from Swift via argv("name")
     args: dict = field(default_factory=dict)
 
@@ -201,8 +209,14 @@ def make_client_interp(
     setup: SetupFn | None,
 ) -> tuple[Interp, AdlbClient]:
     """Build the Tcl interpreter for an engine or worker rank."""
-    client = AdlbClient(comm, layout)
-    interp = Interp()
+    config = ctx.config
+    client = AdlbClient(
+        comm,
+        layout,
+        read_cache=config.read_cache,
+        batch_refcounts=config.batch_refcounts,
+    )
+    interp = Interp(compile_enabled=config.tcl_compile)
     interp.echo = False
     if engine is not None:
         engine.client = client

@@ -38,6 +38,7 @@ class Worker:
             if got is None:
                 if tracer is not None:
                     tracer.metrics.fold_struct("worker", self.stats, rank=rank)
+                    fold_cache_stats(tracer, self.client, self.interp, rank)
                 return self.stats
             _, payload = got
             t0 = time.perf_counter()
@@ -49,4 +50,22 @@ class Worker:
                 tracer.complete(
                     rank, "task", "task", t0, t1, {"bytes": len(payload)}
                 )
+            # Deferred refcount decrements must land before the task's
+            # accounting unit: a batched write-decrement can close TDs
+            # and fire rules, which the termination counter must see.
+            self.client.flush_refcounts()
             self.client.decr_work()
+
+
+def fold_cache_stats(tracer: Any, client: AdlbClient, interp, rank: int) -> None:
+    """Fold the rank's compile/read-cache counters into run metrics.
+
+    Exposes ``tcl.compile.{hits,misses,expr_hits,expr_misses}`` and
+    ``adlb.retrieve_cache.{hits,misses,evictions,...}``.
+    """
+    cache_stats = getattr(interp, "cache_stats", None)
+    if cache_stats is not None:
+        tracer.metrics.fold_struct("tcl.compile", cache_stats, rank=rank)
+    data_stats = getattr(client, "data_stats", None)
+    if data_stats is not None:
+        tracer.metrics.fold_struct("adlb.retrieve_cache", data_stats, rank=rank)
