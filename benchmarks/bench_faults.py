@@ -1,0 +1,81 @@
+"""FAULTS — overhead of the fault-tolerance machinery when idle.
+
+Two configurations of the same program:
+
+* **leases off** — ``max_retries=0``: no lease table is allocated, the
+  per-hook cost is a single ``is None`` / flag test.  This is the
+  tier-1 guard: it must stay within noise of the seed timing.
+* **leases on** (the default ``on_error="retry"``): the server grants
+  and clears a lease per handed-out task.  With no faults injected the
+  added work is one dict store/pop per task, so the ratio against the
+  leases-off run must stay near 1.
+
+``benchmarks/record.py`` reuses :func:`measure_faults_overhead` for the
+committed ``BENCH_hotpath.json`` snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import assert_within_seed_noise, series
+
+from repro import swift_run
+
+# Same shape as the obs-overhead quickstart: dataflow fan-out with
+# embedded-Python leaf tasks, no subprocess spawn.
+PROGRAM = """
+(int o) square(int x) {
+    o = x * x;
+}
+int squares[];
+foreach i in [0:9] {
+    squares[i] = square(i);
+}
+printf("sum of squares 0..9 = %i", sum_integer(squares));
+"""
+
+
+def run_program(**options):
+    res = swift_run(PROGRAM, workers=4, **options)
+    assert "sum of squares 0..9 = 285" in res.stdout
+    return res
+
+
+def measure_faults_overhead(rounds: int = 5) -> dict:
+    """Best-of-rounds leases-on (default) vs leases-off wall time."""
+
+    def best(**options) -> float:
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            run_program(**options)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    off = best(max_retries=0)
+    on = best()  # defaults: on_error="retry", max_retries=2
+    return {
+        "leases_off_s": off,
+        "leases_on_s": on,
+        "overhead_ratio": on / off,
+    }
+
+
+def test_faults_off_within_seed_noise(benchmark):
+    """Tier-1 guard: with leases disabled nothing in the fault layer
+    may cost more than its ``is None`` checks."""
+    benchmark.pedantic(
+        lambda: run_program(max_retries=0), rounds=5, iterations=1, warmup_rounds=1
+    )
+    series(benchmark, leases=False)
+    assert_within_seed_noise(benchmark.stats.stats.mean)
+
+
+def test_faults_default_within_seed_noise(benchmark):
+    """The default config (leases on, no faults injected) must also
+    stay within the seed-noise budget — lease bookkeeping is one dict
+    store/pop per task."""
+    benchmark.pedantic(run_program, rounds=5, iterations=1, warmup_rounds=1)
+    series(benchmark, leases=True)
+    assert_within_seed_noise(benchmark.stats.stats.mean)

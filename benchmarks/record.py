@@ -18,6 +18,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+from bench_faults import measure_faults_overhead  # noqa: E402
 from bench_hotpath import (  # noqa: E402
     EXPR_CALL,
     EXPR_PRELUDE,
@@ -37,10 +38,17 @@ def main() -> None:
         "tcl_proc_dispatch": measure_tcl(PROC_PRELUDE, PROC_CALL),
         "tcl_expr_loop": measure_tcl(EXPR_PRELUDE, EXPR_CALL),
         "end_to_end": measure_end_to_end(rounds=5),
+        "bench_faults_overhead": measure_faults_overhead(rounds=5),
     }
     OUT.write_text(json.dumps(results, indent=2) + "\n")
     for name in ("tcl_proc_dispatch", "tcl_expr_loop", "end_to_end"):
         print("%-18s %.2fx" % (name, results[name]["speedup"]))
+    print(
+        "%-18s %.2fx" % (
+            "faults_overhead",
+            results["bench_faults_overhead"]["overhead_ratio"],
+        )
+    )
     print("wrote", OUT)
 
 

@@ -24,10 +24,12 @@ Public entry points: :func:`swift_run`, :class:`SwiftRuntime`,
 
 from .api import SwiftRuntime, swift_run
 from .core import CompiledProgram, SwiftError, compile_swift
+from .faults import DeadlineExceeded, FaultPlan, TaskError, TaskFailure
+from .mpi import RankFailure
 from .obs import Profile, Trace, Tracer
 from .turbine import RunResult, RuntimeConfig
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "swift_run",
@@ -40,5 +42,10 @@ __all__ = [
     "Trace",
     "Tracer",
     "Profile",
+    "FaultPlan",
+    "TaskError",
+    "TaskFailure",
+    "DeadlineExceeded",
+    "RankFailure",
     "__version__",
 ]

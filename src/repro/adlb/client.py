@@ -152,6 +152,20 @@ class AdlbClient:
         msg, _ = self.comm.recv(tag=C.TAG_ASYNC)
         return msg
 
+    def task_fail(self, kind: str, error: str, traceback_text: str = "") -> None:
+        """Report the leased task as failed; ownership of the unit (and
+        its termination-counter increment) passes back to the server,
+        which will retry it or give up per its retry policy."""
+        self._oneway(
+            self.my_server,
+            {
+                "op": C.OP_TASK_FAIL,
+                "kind": kind,
+                "error": error,
+                "traceback": traceback_text,
+            },
+        )
+
     # ------------------------------------------------------------------ data
 
     def allocate_id(self) -> int:
@@ -331,6 +345,14 @@ class AdlbClient:
             for id in reply.get("freed", ()):
                 self._evict_id(id)
 
+    def discard_pending_refcounts(self) -> None:
+        """Drop deferred refcount deltas without applying them.
+
+        Used when a task fails and will be *retried*: the re-execution
+        performs the same decrements again, so flushing the failed
+        attempt's deltas would double-apply them."""
+        self._pending_refcounts = {}
+
     def _evict_id(self, id: int) -> None:
         """Drop every cache entry belonging to a TD (scalar + members).
 
@@ -357,10 +379,17 @@ class AdlbClient:
             self.layout.master_server, {"op": C.OP_INCR_WORK, "amount": amount}
         )
 
-    def decr_work(self, amount: int = 1) -> None:
-        self._oneway(
-            self.layout.master_server, {"op": C.OP_DECR_WORK, "amount": amount}
-        )
+    def decr_work(self, amount: int = 1, poison: bool = False) -> None:
+        """Decrement the termination counter.
+
+        ``poison=True`` marks the decrement as coming from a unit that
+        failed permanently under ``on_error="continue"``: dataflow
+        blocked on its outputs will never resolve, so the master arms
+        quiescence-based drain shutdown for the rest of the run."""
+        msg: dict = {"op": C.OP_DECR_WORK, "amount": amount}
+        if poison:
+            msg["poison"] = True
+        self._oneway(self.layout.master_server, msg)
 
     def server_stats(self) -> dict:
         return self._rpc(self.my_server, {"op": C.OP_STATS})

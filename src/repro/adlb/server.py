@@ -13,9 +13,13 @@ probes the other servers round-robin for untargeted tasks, as in ADLB.
 
 from __future__ import annotations
 
+import dataclasses
+import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..faults import TaskError, TaskFailure, snippet
 from ..mpi import Comm
 from . import constants as C
 from .datastore import DataStore, DataStoreError, Notification, RefStore
@@ -28,6 +32,26 @@ class ParkedGet:
     rank: int
     types: tuple[str, ...]
     is_async: bool
+
+
+@dataclass
+class _Lease:
+    """One handed-out work unit awaiting completion by ``client``."""
+
+    task: Task
+    client: int
+    deadline: float
+
+
+@dataclass
+class LeaseStats:
+    """Lease-layer counters, folded into metrics as ``adlb.lease.*``."""
+
+    granted: int = 0
+    requeued: int = 0
+    expired: int = 0
+    dead_ranks: int = 0
+    failed_permanent: int = 0
 
 
 @dataclass
@@ -73,6 +97,11 @@ class Server:
         layout: Layout,
         steal: bool = True,
         tracer: Any | None = None,
+        leases: bool = False,
+        lease_timeout: float = 60.0,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        on_error: str = "retry",
     ):
         self.comm = comm
         self.layout = layout
@@ -83,6 +112,28 @@ class Server:
         self.queue = WorkQueue()
         self.parked: list[ParkedGet] = []
         self.stats = ServerStats()
+        # Lease table: None when disabled, so the hot path stays a
+        # single `is None` test per handout/completion.
+        self._leases: dict[int, _Lease] | None = {} if leases else None
+        self.lease_timeout = lease_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.on_error = on_error
+        self.lease_stats = LeaseStats()
+        self.failures: list[TaskFailure] = []
+        # (release_at, seq, task) heap of backoff-delayed requeues
+        self._delayed: list[tuple[float, int, Task]] = []
+        self._delay_seq = 0
+        self._dead_ranks: set[int] = set()
+        self._next_lease_check = 0.0
+        # Drain-shutdown state (master only): set when a poisoned
+        # decrement reports a permanently failed unit whose dependent
+        # dataflow can never resolve.
+        self._poisoned = False
+        self._drain_since: float | None = None
+        self._drain_count = 0
+        self._drain_probes_ok: set[int] = set()
+        self._drain_probing = False
         self.is_master = self.rank == layout.master_server
         # termination counter (master only)
         self.work_count = 0
@@ -110,6 +161,8 @@ class Server:
         """Serve until shutdown completes; returns server statistics."""
         while not self._done():
             got = self.comm.recv_poll(timeout=0.02)
+            if self._leases is not None:
+                self._lease_tick()
             if got is None:
                 self.stats.idle_polls += 1
                 self._idle_tick()
@@ -118,6 +171,10 @@ class Server:
             self._dispatch(msg, status.source, status.tag)
         if self.tracer is not None:
             self.tracer.metrics.fold_struct("adlb", self.stats, rank=self.rank)
+            if self._leases is not None:
+                self.tracer.metrics.fold_struct(
+                    "adlb.lease", self.lease_stats, rank=self.rank
+                )
         return self.stats
 
     def _done(self) -> bool:
@@ -169,6 +226,9 @@ class Server:
             self._accept_task(task)
             return None
         if op == C.OP_GET:
+            if self._leases is not None:
+                # Asking for the next task completes the previous lease.
+                self._leases.pop(source, None)
             if self.shutting_down:
                 self.comm.send(("shutdown",), source, C.TAG_RESPONSE)
                 self._shutdown_acked.add(source)
@@ -177,6 +237,8 @@ class Server:
             task = self.queue.pop(types, source)
             if task is not None:
                 self._record_match(task)
+                if self._leases is not None:
+                    self._grant(task, source)
                 self.comm.send(
                     ("task", task.type, task.payload), source, C.TAG_RESPONSE
                 )
@@ -189,6 +251,8 @@ class Server:
                 self._maybe_steal()
             return _NO_REPLY
         if op == C.OP_GET_ASYNC:
+            if self._leases is not None:
+                self._leases.pop(source, None)
             if self.shutting_down:
                 self.comm.send(("shutdown",), source, C.TAG_ASYNC)
                 self._shutdown_acked.add(source)
@@ -197,6 +261,8 @@ class Server:
             task = self.queue.pop(types, source)
             if task is not None:
                 self._record_match(task)
+                if self._leases is not None:
+                    self._grant(task, source)
                 self.comm.send(
                     ("ctask", task.type, task.payload), source, C.TAG_ASYNC
                 )
@@ -304,11 +370,16 @@ class Server:
             return None
         if op == C.OP_DECR_WORK:
             assert self.is_master
+            if msg.get("poison"):
+                self._poisoned = True
             self.work_count -= msg.get("amount", 1)
             if self.work_count < 0:
                 raise DataStoreError("termination counter went negative")
             if self.work_count == 0 and self.work_started:
                 self._initiate_shutdown()
+            return None
+        if op == C.OP_TASK_FAIL:
+            self._task_fail(source, msg)
             return None
         if op == C.OP_STATS:
             from dataclasses import asdict
@@ -347,6 +418,28 @@ class Server:
         if op == C.SOP_SHUTDOWN:
             self._enter_shutdown()
             return
+        if op == C.SOP_RANK_DEAD:
+            self._mark_rank_dead(
+                msg["rank"], reason=msg.get("reason", "rank died")
+            )
+            return
+        if op == C.SOP_DRAIN_PROBE:
+            self.comm.send(
+                {"op": C.SOP_DRAIN_RESP, "quiescent": self._quiescent()},
+                source,
+                C.TAG_SERVER,
+            )
+            return
+        if op == C.SOP_DRAIN_RESP:
+            if self._drain_probing and msg["quiescent"]:
+                self._drain_probes_ok.add(source)
+                if self._drain_probes_ok >= set(self._other_servers):
+                    self._drain_shutdown()
+            elif self._drain_probing:
+                # Someone still has runnable work: disarm and re-observe.
+                self._drain_probing = False
+                self._drain_since = None
+            return
         raise RuntimeError("unknown server op %r" % op)
 
     # ---------------------------------------------------------------- matching
@@ -368,6 +461,8 @@ class Server:
             if task.type in parked.types and task.target in (-1, parked.rank):
                 del self.parked[i]
                 self._record_match(task)
+                if self._leases is not None:
+                    self._grant(task, parked.rank)
                 if parked.is_async:
                     self.comm.send(
                         ("ctask", task.type, task.payload),
@@ -402,6 +497,165 @@ class Server:
             else:
                 self.comm.send(store_msg, home, C.TAG_ONEWAY)
 
+    # ------------------------------------------------------------------ leases
+
+    def _grant(self, task: Task, client: int) -> None:
+        """Record a handed-out unit; completion is implied by the
+        client's next GET (one outstanding task per client)."""
+        self.lease_stats.granted += 1
+        self._leases[client] = _Lease(
+            task, client, time.monotonic() + self.lease_timeout
+        )
+
+    def _decr_work(self, amount: int = 1, poison: bool = False) -> None:
+        """Repair the termination counter for a unit the client will
+        never account for (failed permanently, or its rank died)."""
+        master = self.layout.master_server
+        msg: dict = {"op": C.OP_DECR_WORK, "amount": amount}
+        if poison:
+            msg["poison"] = True
+        if self.rank == master:
+            self._client_op(C.OP_DECR_WORK, msg, self.rank)
+        else:
+            self.comm.send(msg, master, C.TAG_ONEWAY)
+
+    def _requeue(self, task: Task, attempts: int) -> None:
+        """Put a failed/orphaned unit back with exponential backoff."""
+        nxt = dataclasses.replace(task, attempts=attempts)
+        delay = self.retry_backoff * (2 ** max(0, attempts - 1))
+        self.lease_stats.requeued += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.rank,
+                "adlb",
+                "lease_requeue",
+                {"type": task.type, "attempts": attempts},
+            )
+        if delay <= 0:
+            self._accept_task(nxt)
+        else:
+            self._delay_seq += 1
+            heapq.heappush(
+                self._delayed, (time.monotonic() + delay, self._delay_seq, nxt)
+            )
+
+    def _task_fail(self, source: int, msg: dict) -> None:
+        """OP_TASK_FAIL: the client hands its leased unit back as failed.
+
+        Ownership of the unit (and its termination-counter increment)
+        transfers to this server: either it is requeued for another
+        attempt, or given up permanently.
+        """
+        lease = self._leases.pop(source, None) if self._leases is not None else None
+        if lease is None:
+            # Leases disabled or the unit was already swept by a
+            # dead-rank notification: permanently failed.
+            self._give_up(
+                TaskFailure(
+                    rank=source,
+                    kind=msg.get("kind", "task"),
+                    payload=msg.get("payload", ""),
+                    attempts=msg.get("attempts", 1),
+                    error=msg["error"],
+                    traceback=msg.get("traceback", ""),
+                )
+            )
+            return
+        attempts = lease.task.attempts + 1
+        if attempts <= self.max_retries:
+            self._requeue(lease.task, attempts)
+            return
+        self._give_up(
+            TaskFailure(
+                rank=source,
+                kind=msg.get("kind", "task"),
+                payload=snippet(lease.task.payload),
+                attempts=attempts,
+                error=msg["error"],
+                traceback=msg.get("traceback", ""),
+            )
+        )
+
+    def _give_up(self, failure: TaskFailure) -> None:
+        """Retries exhausted: in ``continue`` mode record the failure
+        and repair the counter; otherwise surface a TaskError."""
+        self.lease_stats.failed_permanent += 1
+        self.failures.append(failure)
+        if self.on_error == "continue":
+            self._decr_work(poison=True)
+            return
+        raise TaskError(failure)
+
+    def _mark_rank_dead(self, rank: int, reason: str = "rank died") -> None:
+        """Sweep all state tied to a dead client rank.
+
+        Called on a launcher-side SOP_RANK_DEAD notification or a lease
+        expiry.  Safe if the rank is merely slow: its unit is re-run
+        elsewhere (at-least-once semantics) and it can no longer be
+        granted work or block shutdown.
+        """
+        if rank in self._dead_ranks or self.layout.is_server(rank):
+            return
+        self._dead_ranks.add(rank)
+        self.lease_stats.dead_ranks += 1
+        if self.tracer is not None:
+            self.tracer.instant(self.rank, "adlb", "rank_dead", {"rank": rank})
+        # The dead rank can never request work or ack shutdown again.
+        self.attached_clients.discard(rank)
+        self._shutdown_acked.discard(rank)
+        self.parked = [p for p in self.parked if p.rank != rank]
+        # Re-aim queued tasks that could only run on the dead rank.
+        for task in self.queue.remove_targeted(rank):
+            self._accept_task(dataclasses.replace(task, target=-1))
+        if self._leases is None:
+            return
+        lease = self._leases.pop(rank, None)
+        if lease is None:
+            return
+        task = lease.task
+        if task.target == rank:
+            task = dataclasses.replace(task, target=-1)
+        attempts = task.attempts + 1
+        # A unit lost to a rank death gets at least one more chance,
+        # even when task retries are disabled.
+        if attempts <= max(1, self.max_retries):
+            self._requeue(task, attempts)
+        else:
+            self._give_up(
+                TaskFailure(
+                    rank=rank,
+                    kind="task",
+                    payload=snippet(task.payload),
+                    attempts=attempts,
+                    error=reason,
+                )
+            )
+
+    def _lease_tick(self) -> None:
+        """Release due backoff requeues; expire overdue leases."""
+        now = time.monotonic()
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, task = heapq.heappop(self._delayed)
+            self._accept_task(task)
+        if now < self._next_lease_check:
+            return
+        self._next_lease_check = now + 0.05
+        expired = [l for l in self._leases.values() if l.deadline <= now]
+        for lease in expired:
+            self.lease_stats.expired += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    self.rank,
+                    "adlb",
+                    "lease_expired",
+                    {"client": lease.client, "type": lease.task.type},
+                )
+            self._mark_rank_dead(
+                lease.client,
+                reason="lease expired after %.1fs (rank presumed dead)"
+                % self.lease_timeout,
+            )
+
     # ---------------------------------------------------------------- stealing
 
     def _maybe_steal(self) -> None:
@@ -422,6 +676,67 @@ class Server:
 
     def _idle_tick(self) -> None:
         self._maybe_steal()
+        if self._poisoned and not self.shutting_down:
+            self._drain_tick()
+
+    # ------------------------------------------------------- poisoned drain
+
+    def _quiescent(self) -> bool:
+        """Nothing on this server can make progress: every attached
+        client is parked waiting for work, no work is queued, delayed,
+        or leased out."""
+        return (
+            len(self.parked) >= len(self.attached_clients)
+            and self.queue.size == 0
+            and not self._delayed
+            and not self._leases
+        )
+
+    def _drain_tick(self) -> None:
+        """Master-side shutdown of a poisoned run.
+
+        A permanently failed unit (on_error="continue") poisons the
+        run: dataflow blocked on its outputs can never resolve, so the
+        termination counter will never reach zero.  Once the system is
+        quiescent — every client parked, nothing queued/delayed/leased
+        anywhere, counter stable — the remaining units are unreachable
+        and the master shuts the run down so `continue` terminates.
+        """
+        if not (self.is_master and self.work_started and self.work_count > 0):
+            return
+        now = time.monotonic()
+        if not self._quiescent():
+            self._drain_since = None
+            self._drain_probing = False
+            return
+        if self._drain_since is None or self._drain_count != self.work_count:
+            self._drain_since = now
+            self._drain_count = self.work_count
+            self._drain_probing = False
+            return
+        # Require the quiescent state to hold briefly so in-flight
+        # oneway messages (puts, decrements) get a chance to land.
+        if now - self._drain_since < 0.1 or self._drain_probing:
+            return
+        if not self._other_servers:
+            self._drain_shutdown()
+            return
+        self._drain_probing = True
+        self._drain_probes_ok = set()
+        for s in self._other_servers:
+            self.comm.send({"op": C.SOP_DRAIN_PROBE}, s, C.TAG_SERVER)
+
+    def _drain_shutdown(self) -> None:
+        if self.shutting_down:
+            return
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.rank,
+                "adlb",
+                "drain_shutdown",
+                {"abandoned_units": self.work_count},
+            )
+        self._initiate_shutdown()
 
     # ---------------------------------------------------------------- shutdown
 

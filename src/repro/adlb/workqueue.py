@@ -19,6 +19,7 @@ class Task:
     payload: Any
     priority: int = 0
     target: int = -1  # -1 means any rank
+    attempts: int = 0  # executions so far (>0 only for lease requeues)
 
 
 class WorkQueue:
@@ -81,6 +82,17 @@ class WorkQueue:
                 self.size -= 1
             if len(out) >= max_count:
                 break
+        return out
+
+    def remove_targeted(self, rank: int) -> list[Task]:
+        """Remove every task targeted at ``rank`` (it died); caller
+        decides whether to retarget or drop them."""
+        out: list[Task] = []
+        for key in [k for k in self._targeted if k[1] == rank]:
+            heap = self._targeted.pop(key)
+            for _, _, task in heap:
+                out.append(task)
+                self.size -= 1
         return out
 
     def counts_by_type(self) -> dict[str, int]:

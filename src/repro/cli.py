@@ -48,6 +48,25 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
         default="retain",
         help="embedded interpreter state policy (paper III-C)",
     )
+    p.add_argument(
+        "--on-error",
+        choices=["retry", "fail_fast", "continue"],
+        default="retry",
+        help="task-failure policy: retry (default), fail_fast, or continue",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-executions allowed per failed task (with --on-error retry)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit; the run shuts down in an orderly way on expiry",
+    )
 
 
 def _runtime_config(
@@ -61,8 +80,29 @@ def _runtime_config(
         echo=echo,
         trace=trace,
         interp_mode=ns.interp_mode,
+        on_error=ns.on_error,
+        max_retries=ns.max_retries,
+        deadline=ns.deadline,
         args=_parse_args_list(ns.arg),
     )
+
+
+def _report_failures(result) -> int:
+    """Exit status for a completed run: with ``--on-error continue``
+    the run drains past permanent failures, but they must still be
+    reported and reflected in the exit code."""
+    if result.ok:
+        return 0
+    print(
+        "run completed with %d permanent failure(s):" % len(result.failures),
+        file=sys.stderr,
+    )
+    for f in result.failures:
+        print(
+            "  rank %d %s (%d attempt(s)): %s" % (f.rank, f.kind, f.attempts, f.error),
+            file=sys.stderr,
+        )
+    return 3
 
 
 def _parse_args_list(pairs: list[str]) -> dict[str, str]:
@@ -191,17 +231,18 @@ def _dispatch(ns: argparse.Namespace) -> int:
             opt=ns.opt,
             config=_runtime_config(ns, echo=ns.command == "run", trace=traced),
         )
+        from .faults import DeadlineExceeded, TaskError
         from .mpi.launcher import RankFailure
 
         try:
             result = rt.run(source)
-        except RankFailure as e:
+        except (RankFailure, TaskError, DeadlineExceeded) as e:
             print("run failed: %s" % e, file=sys.stderr)
             return 3
         if ns.command == "run":
             if traced:
                 print(result.profile.render(), file=sys.stderr)
-            return 0
+            return _report_failures(result)
         if ns.command == "profile":
             print(result.profile.render())
             if ns.chrome:
@@ -222,16 +263,17 @@ def _dispatch(ns: argparse.Namespace) -> int:
         with open(ns.program, "r", encoding="utf-8") as f:
             program = f.read()
         config = _runtime_config(ns, echo=True, trace=ns.trace)
+        from .faults import DeadlineExceeded, TaskError
         from .mpi.launcher import RankFailure
 
         try:
             result = run_turbine_program(program, config)
-        except RankFailure as e:
+        except (RankFailure, TaskError, DeadlineExceeded) as e:
             print("run failed: %s" % e, file=sys.stderr)
             return 3
         if ns.trace:
             print(result.profile.render(), file=sys.stderr)
-        return 0
+        return _report_failures(result)
 
     if ns.command == "submit":
         spec = JobSpec(

@@ -1,0 +1,340 @@
+"""Fault injection and fault-tolerance primitives.
+
+This module is the dependency-free core of the fault layer that spans
+every runtime tier (see DESIGN.md "Failure model"):
+
+* :class:`FaultPlan` — a seeded, declarative injection plan attached to
+  :class:`repro.turbine.runtime.RuntimeConfig`.  It can kill a rank
+  after its Nth task, make matching tasks raise or run slow, and delay
+  or drop messages inside :mod:`repro.mpi.comm` — so every recovery
+  path (leases, retries, dead-rank sweeps, deadlines) is testable and
+  reproducible.
+* :class:`FaultState` — the per-run instantiation of a plan: budgets,
+  counters, and the seeded RNG.  One instance is shared by the MPI
+  world and every worker/engine of a run, so a plan can be reused
+  across runs without carrying state over.
+* :class:`TaskFailure` / :class:`TaskError` — the failure record and
+  the exception surfaced to users when a unit of work fails
+  permanently.
+* :class:`RankKilled` / :class:`InjectedFault` / :class:`DeadlineExceeded`
+  — control-flow exceptions of the fault machinery.
+
+Nothing here imports other repro modules; the MPI, ADLB, and Turbine
+layers all hook into it without cycles.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+
+def snippet(payload: object, limit: int = 200) -> str:
+    """A bounded, single-object description of a task payload."""
+    text = payload if isinstance(payload, str) else repr(payload)
+    text = text.strip()
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text
+
+
+# --------------------------------------------------------------- failures
+
+
+@dataclass
+class TaskFailure:
+    """Record of one failed unit of work.
+
+    ``kind`` is ``task`` (worker leaf task), ``ctask`` (engine control
+    task), ``rule`` (engine LOCAL rule action), or ``program`` (the
+    initial engine program).  ``attempts`` counts executions, so a task
+    that failed once without retries has ``attempts == 1``.
+    """
+
+    rank: int
+    kind: str
+    payload: str
+    attempts: int
+    error: str
+    traceback: str = ""
+
+
+class TaskError(RuntimeError):
+    """A unit of work failed permanently (fail-fast, or retries exhausted).
+
+    Carries the :class:`TaskFailure`; the message embeds the original
+    formatted traceback so the failure is debuggable from the message
+    alone — this is the clean error users see instead of a rank crash.
+    """
+
+    def __init__(self, failure: TaskFailure):
+        self.failure = failure
+        msg = "%s failed on rank %d after %d attempt(s): %s" % (
+            failure.kind,
+            failure.rank,
+            failure.attempts,
+            failure.error,
+        )
+        if failure.traceback:
+            msg += "\n" + failure.traceback.rstrip()
+        if failure.payload:
+            msg += "\npayload: %s" % failure.payload
+        super().__init__(msg)
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a task by a :meth:`FaultPlan.fail_task` rule."""
+
+
+class RankKilled(Exception):
+    """A :meth:`FaultPlan.kill_rank` rule fired: the rank dies mid-task.
+
+    Raised outside the task-failure handling so it is never treated as
+    a task exception; the launcher-side wrapper turns it into a
+    dead-rank notification to the ADLB servers (unless ``silent``, in
+    which case recovery relies on the server lease sweep).
+    """
+
+    def __init__(self, rank: int, silent: bool = False):
+        self.rank = rank
+        self.silent = silent
+        super().__init__(
+            "rank %d killed by fault injection%s"
+            % (rank, " (silent)" if silent else "")
+        )
+
+
+class DeadlineExceeded(RuntimeError):
+    """The run's wall-clock deadline expired before completion."""
+
+
+# --------------------------------------------------------------- the plan
+
+
+@dataclass
+class _KillRule:
+    rank: int
+    after_tasks: int
+    silent: bool
+
+
+@dataclass
+class _TaskRule:
+    kind: str  # "raise" | "slow"
+    match: str
+    rank: int | None
+    times: int | None
+    delay: float
+    message: str
+
+
+@dataclass
+class _MsgRule:
+    kind: str  # "drop" | "delay"
+    src: int | None
+    dest: int | None
+    tag: int | None
+    times: int | None
+    probability: float | None
+    delay: float
+
+
+class FaultPlan:
+    """A deterministic, seeded fault-injection plan.
+
+    Builder methods return ``self`` so plans chain::
+
+        plan = (FaultPlan(seed=7)
+                .kill_rank(2, after_tasks=1)
+                .fail_task("emit 3", times=1)
+                .delay_messages(probability=0.1, delay=0.005))
+
+    Attach with ``RuntimeConfig(faults=plan)`` (or
+    ``swift_run(..., faults=plan)``).  Rules with a ``probability``
+    draw from a ``random.Random(seed)`` owned by the run's
+    :class:`FaultState`; count-based rules are fully deterministic.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.kills: list[_KillRule] = []
+        self.task_rules: list[_TaskRule] = []
+        self.msg_rules: list[_MsgRule] = []
+
+    def __repr__(self) -> str:
+        return "FaultPlan(seed=%d, kills=%d, task_rules=%d, msg_rules=%d)" % (
+            self.seed,
+            len(self.kills),
+            len(self.task_rules),
+            len(self.msg_rules),
+        )
+
+    def kill_rank(
+        self, rank: int, after_tasks: int = 0, silent: bool = False
+    ) -> "FaultPlan":
+        """Kill ``rank`` when it receives its ``after_tasks + 1``-th task.
+
+        The rank dies holding a leased work unit, exercising requeue.
+        ``silent=True`` suppresses the launcher's dead-rank
+        notification so recovery must come from the lease sweep.
+        """
+        self.kills.append(_KillRule(rank, after_tasks, silent))
+        return self
+
+    def fail_task(
+        self,
+        match: str,
+        times: int | None = 1,
+        rank: int | None = None,
+        message: str = "injected task fault",
+    ) -> "FaultPlan":
+        """Make tasks whose payload contains ``match`` raise InjectedFault.
+
+        ``times`` bounds how many executions fail (``None`` = every
+        one); with retries enabled, ``times=1`` models a transient
+        fault that succeeds on re-execution.
+        """
+        self.task_rules.append(
+            _TaskRule("raise", match, rank, times, 0.0, message)
+        )
+        return self
+
+    def slow_task(
+        self,
+        match: str,
+        delay: float = 0.05,
+        times: int | None = 1,
+        rank: int | None = None,
+    ) -> "FaultPlan":
+        """Sleep ``delay`` seconds before matching tasks execute."""
+        self.task_rules.append(_TaskRule("slow", match, rank, times, delay, ""))
+        return self
+
+    def drop_messages(
+        self,
+        src: int | None = None,
+        dest: int | None = None,
+        tag: int | None = None,
+        times: int | None = 1,
+        probability: float | None = None,
+    ) -> "FaultPlan":
+        """Silently drop matching sends (``None`` filters match anything)."""
+        self.msg_rules.append(
+            _MsgRule("drop", src, dest, tag, times, probability, 0.0)
+        )
+        return self
+
+    def delay_messages(
+        self,
+        delay: float = 0.01,
+        src: int | None = None,
+        dest: int | None = None,
+        tag: int | None = None,
+        times: int | None = None,
+        probability: float | None = None,
+    ) -> "FaultPlan":
+        """Sleep the sender ``delay`` seconds before matching sends."""
+        self.msg_rules.append(
+            _MsgRule("delay", src, dest, tag, times, probability, delay)
+        )
+        return self
+
+
+# --------------------------------------------------------------- run state
+
+
+@dataclass
+class FaultStats:
+    """Injection counters, folded into metrics as ``fault.*``."""
+
+    kills: int = 0
+    task_errors: int = 0
+    slow_tasks: int = 0
+    dropped_msgs: int = 0
+    delayed_msgs: int = 0
+
+
+class FaultState:
+    """One run's view of a :class:`FaultPlan`: budgets, counters, RNG.
+
+    Thread-safe; the hooks are only reached when a plan is attached, so
+    the faults-off fast path stays a single ``is None`` test at every
+    call site.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.stats = FaultStats()
+        self._lock = threading.Lock()
+        self._rng = random.Random(plan.seed)
+        self._tasks_seen: dict[int, int] = {}
+        self._kill_done = [False] * len(plan.kills)
+        self._task_budget = [r.times for r in plan.task_rules]
+        self._msg_budget = [r.times for r in plan.msg_rules]
+
+    def on_task(self, rank: int, payload: object) -> tuple | None:
+        """Directive for the next unit of work on ``rank``.
+
+        Returns ``None`` (run normally), ``("kill", silent)``,
+        ``("raise", message)``, or ``("sleep", delay)``.
+        """
+        plan = self.plan
+        with self._lock:
+            n = self._tasks_seen.get(rank, 0) + 1
+            self._tasks_seen[rank] = n
+            for i, kill in enumerate(plan.kills):
+                if kill.rank == rank and not self._kill_done[i] and n > kill.after_tasks:
+                    self._kill_done[i] = True
+                    self.stats.kills += 1
+                    return ("kill", kill.silent)
+            if not plan.task_rules:
+                return None
+            text = payload if isinstance(payload, str) else repr(payload)
+            for i, rule in enumerate(plan.task_rules):
+                if rule.rank is not None and rule.rank != rank:
+                    continue
+                budget = self._task_budget[i]
+                if budget is not None and budget <= 0:
+                    continue
+                if rule.match not in text:
+                    continue
+                if budget is not None:
+                    self._task_budget[i] = budget - 1
+                if rule.kind == "raise":
+                    self.stats.task_errors += 1
+                    return ("raise", rule.message)
+                self.stats.slow_tasks += 1
+                return ("sleep", rule.delay)
+        return None
+
+    def on_send(self, src: int, dest: int, tag: int) -> tuple | None:
+        """Directive for one message send.
+
+        Returns ``None`` (deliver), ``("drop", 0.0)``, or
+        ``("sleep", delay)`` (deliver after delaying the sender).
+        """
+        plan = self.plan
+        if not plan.msg_rules:
+            return None
+        with self._lock:
+            for i, rule in enumerate(plan.msg_rules):
+                if rule.src is not None and rule.src != src:
+                    continue
+                if rule.dest is not None and rule.dest != dest:
+                    continue
+                if rule.tag is not None and rule.tag != tag:
+                    continue
+                budget = self._msg_budget[i]
+                if budget is not None and budget <= 0:
+                    continue
+                if rule.probability is not None and self._rng.random() >= rule.probability:
+                    continue
+                if budget is not None:
+                    self._msg_budget[i] = budget - 1
+                if rule.kind == "drop":
+                    self.stats.dropped_msgs += 1
+                    return ("drop", 0.0)
+                self.stats.delayed_msgs += 1
+                return ("sleep", rule.delay)
+        return None

@@ -21,7 +21,7 @@ from .comm import (
     Status,
     World,
 )
-from .launcher import run_world
+from .launcher import RankFailure, run_world
 
 __all__ = [
     "ANY_SOURCE",
@@ -32,5 +32,6 @@ __all__ = [
     "CommStats",
     "AbortError",
     "DeadlockError",
+    "RankFailure",
     "run_world",
 ]

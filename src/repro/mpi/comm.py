@@ -127,8 +127,10 @@ class World:
 
     ``tracer`` is an optional :class:`repro.obs.Tracer`; when set, every
     Comm records send instants and recv-wait spans into it (category
-    ``mpi``).  When ``None`` — the default — the instrumentation is a
-    single pointer test per call.
+    ``mpi``).  ``faults`` is an optional :class:`repro.faults.FaultState`
+    whose message rules can drop or delay sends.  When either is
+    ``None`` — the default — the instrumentation is a single pointer
+    test per call.
     """
 
     def __init__(
@@ -136,12 +138,14 @@ class World:
         size: int,
         recv_timeout: float | None = 120.0,
         tracer: Any | None = None,
+        faults: Any | None = None,
     ):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
         self.recv_timeout = recv_timeout
         self.tracer = tracer
+        self.faults = faults
         self.mailboxes = [_Mailbox() for _ in range(size)]
         self.stats = [CommStats() for _ in range(size)]
         self.aborted = threading.Event()
@@ -185,6 +189,15 @@ class Comm:
             raise AbortError("world aborted during send")
         if not 0 <= dest < self.size:
             raise ValueError("bad destination rank %d" % dest)
+        faults = self.world.faults
+        if faults is not None:
+            directive = faults.on_send(self.rank, dest, tag)
+            if directive is not None:
+                if directive[0] == "drop":
+                    return
+                import time as _time
+
+                _time.sleep(directive[1])
         size = self.world.stats[self.rank].add_send(obj)
         mailbox = self.world.mailboxes[dest]
         tracer = self.world.tracer
@@ -212,15 +225,21 @@ class Comm:
         if timeout is None:
             timeout = self.world.recv_timeout
         tracer = self.world.tracer
-        if tracer is None:
-            obj, status = self.world.mailboxes[self.rank].get(
-                source, tag, timeout, self.world.aborted
-            )
-        else:
-            t0 = tracer.now()
-            obj, status = self.world.mailboxes[self.rank].get(
-                source, tag, timeout, self.world.aborted
-            )
+        try:
+            if tracer is None:
+                obj, status = self.world.mailboxes[self.rank].get(
+                    source, tag, timeout, self.world.aborted
+                )
+            else:
+                t0 = tracer.now()
+                obj, status = self.world.mailboxes[self.rank].get(
+                    source, tag, timeout, self.world.aborted
+                )
+        except DeadlockError:
+            raise DeadlockError(
+                self._hang_report(source, tag, timeout)
+            ) from None
+        if tracer is not None:
             tracer.complete(
                 self.rank,
                 "mpi",
@@ -230,6 +249,21 @@ class Comm:
             )
         self.world.stats[self.rank].recvs += 1
         return obj, status
+
+    def _hang_report(self, source: int, tag: int, timeout: float) -> str:
+        """Actionable deadlock report: who is blocked on what, and the
+        pending-queue depth of every rank at the moment of the timeout."""
+        depths = " ".join(
+            "rank%d=%d" % (r, len(mb.messages))
+            for r, mb in enumerate(self.world.mailboxes)
+        )
+        src = "ANY_SOURCE" if source == ANY_SOURCE else str(source)
+        tg = "ANY_TAG" if tag == ANY_TAG else str(tag)
+        return (
+            "rank %d blocked in recv(source=%s, tag=%s) timed out after "
+            "%.1fs with no matching message; per-rank pending-queue "
+            "depths: %s" % (self.rank, src, tg, timeout, depths)
+        )
 
     def recv_poll(
         self,

@@ -2,21 +2,61 @@
 
 from __future__ import annotations
 
+import sys
 import threading
-from typing import Any, Callable
+import time
+import traceback
+from typing import Any, Callable, Sequence
 
-from .comm import Comm, World
+from ..faults import DeadlineExceeded
+from .comm import AbortError, Comm, World
+
+
+def _format_exception(e: BaseException) -> str:
+    return "".join(traceback.format_exception(type(e), e, e.__traceback__))
+
+
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "".join(prefix + line for line in text.splitlines(keepends=True))
+
+
+def _rank_label(rank: int, rank_labels: Sequence[str] | None) -> str:
+    if rank_labels is not None and 0 <= rank < len(rank_labels):
+        return "rank %d (%s)" % (rank, rank_labels[rank])
+    return "rank %d" % rank
+
+
+def _thread_stack(thread: threading.Thread) -> str:
+    """The current Python stack of a live thread (for stuck-rank reports)."""
+    frame = sys._current_frames().get(thread.ident)
+    if frame is None:
+        return "<thread already exited>\n"
+    return "".join(traceback.format_stack(frame))
 
 
 class RankFailure(RuntimeError):
-    """One or more ranks raised; carries (rank, exception) pairs."""
+    """One or more ranks raised; carries (rank, exception) pairs.
 
-    def __init__(self, failures: list[tuple[int, BaseException]]):
+    The message names every failed rank (with its role when the
+    launcher was given ``rank_labels``) and attaches each failure's
+    formatted traceback, so a run is debuggable from the message alone.
+    """
+
+    def __init__(
+        self,
+        failures: list[tuple[int, BaseException]],
+        rank_labels: Sequence[str] | None = None,
+    ):
         self.failures = failures
-        msg = "; ".join(
-            "rank %d: %s: %s" % (r, type(e).__name__, e) for r, e in failures
+        summary = "; ".join(
+            "%s: %s: %s" % (_rank_label(r, rank_labels), type(e).__name__, e)
+            for r, e in failures
         )
-        super().__init__(msg)
+        details = "\n".join(
+            "%s:\n%s" % (_rank_label(r, rank_labels), _indent(_format_exception(e)))
+            for r, e in failures
+        )
+        super().__init__(summary + "\n" + details)
 
 
 def run_world(
@@ -25,6 +65,10 @@ def run_world(
     recv_timeout: float | None = 120.0,
     join_timeout: float | None = 300.0,
     tracer: Any | None = None,
+    faults: Any | None = None,
+    rank_labels: Sequence[str] | None = None,
+    deadline: float | None = None,
+    shutdown_grace: float = 10.0,
 ) -> list[Any]:
     """Launch ``main(comm)`` on ``size`` ranks; return per-rank results.
 
@@ -34,8 +78,15 @@ def run_world(
 
     ``tracer`` (a :class:`repro.obs.Tracer`) enables MPI-layer tracing;
     per-rank traffic counters are folded into its metrics on exit.
+    ``faults`` (a :class:`repro.faults.FaultState`) enables
+    message-level fault injection.  ``rank_labels`` names each rank's
+    role in failure reports.  ``deadline`` is a wall-clock limit for
+    the whole run: on expiry the world is aborted — an orderly shutdown
+    that wakes every blocked receiver — and :class:`DeadlineExceeded`
+    is raised naming any rank that failed to unwind within
+    ``shutdown_grace`` seconds.
     """
-    world = World(size, recv_timeout=recv_timeout, tracer=tracer)
+    world = World(size, recv_timeout=recv_timeout, tracer=tracer, faults=faults)
     results: list[Any] = [None] * size
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
@@ -55,20 +106,76 @@ def run_world(
     ]
     for t in threads:
         t.start()
+
+    deadline_at = None if deadline is None else time.monotonic() + deadline
+    deadline_hit = False
     for t in threads:
-        t.join(timeout=join_timeout)
+        budget = join_timeout
+        if deadline_at is not None:
+            remaining = max(0.0, deadline_at - time.monotonic())
+            budget = remaining if budget is None else min(budget, remaining)
+        t.join(timeout=budget)
         if t.is_alive():
-            world.abort(TimeoutError("rank thread did not finish"))
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                deadline_hit = True
+                world.abort(
+                    DeadlineExceeded(
+                        "wall-clock deadline of %.1fs exceeded" % deadline
+                    )
+                )
+            else:
+                world.abort(TimeoutError("rank thread did not finish"))
+            break
+    # Orderly unwind: aborted ranks wake out of blocking recvs/barriers
+    # and exit; give them a bounded grace period.
     for t in threads:
-        t.join(timeout=10.0)
+        t.join(timeout=shutdown_grace)
+    stuck = [r for r, t in enumerate(threads) if t.is_alive()]
+
     if tracer is not None:
         for rank, stats in enumerate(world.stats):
             tracer.metrics.fold_struct("mpi", stats, rank=rank)
-    if failures:
-        failures.sort(key=lambda p: p[0])
-        # Suppress secondary AbortErrors triggered by the primary failure.
-        from .comm import AbortError
 
-        primary = [p for p in failures if not isinstance(p[1], AbortError)]
-        raise RankFailure(primary or failures)
+    with failures_lock:
+        recorded = sorted(failures, key=lambda p: p[0])
+    # Suppress secondary AbortErrors triggered by the primary failure.
+    primary = [p for p in recorded if not isinstance(p[1], AbortError)]
+
+    if deadline_hit and not primary:
+        if stuck:
+            detail = "still-stuck ranks after %.1fs grace:\n%s" % (
+                shutdown_grace,
+                "\n".join(
+                    "%s:\n%s"
+                    % (_rank_label(r, rank_labels), _indent(_thread_stack(threads[r])))
+                    for r in stuck
+                ),
+            )
+        else:
+            detail = "all ranks unwound cleanly after the abort"
+        raise DeadlineExceeded(
+            "run exceeded its %.1fs deadline and was shut down; %s"
+            % (deadline, detail)
+        )
+    if stuck:
+        # The join timed out and the grace period did not reap the
+        # threads: report exactly which ranks are stuck and where.
+        entries: list[tuple[int, BaseException]] = []
+        for r in stuck:
+            entries.append(
+                (
+                    r,
+                    TimeoutError(
+                        "%s did not finish (join_timeout=%s); current stack:\n%s"
+                        % (
+                            _rank_label(r, rank_labels),
+                            join_timeout,
+                            _thread_stack(threads[r]),
+                        )
+                    ),
+                )
+            )
+        raise RankFailure(sorted(primary + entries, key=lambda p: p[0]), rank_labels)
+    if recorded:
+        raise RankFailure(primary or recorded, rank_labels)
     return results

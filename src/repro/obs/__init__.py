@@ -22,6 +22,13 @@ category   emitted by
 ``run``    :mod:`repro.turbine.runtime` — whole-run span
 ========== =============================================================
 
+Metric counter namespaces beyond the per-category event totals:
+``adlb.lease.*`` (granted/requeued/expired/dead_ranks/failed_permanent,
+from the server lease table) and ``fault.*`` (kills/task_errors/
+slow_tasks/dropped_msgs/delayed_msgs, from an attached
+:class:`repro.faults.FaultPlan`).  Both appear only on traced runs with
+the corresponding machinery enabled.
+
 Tracing is off by default and zero-cost when off: call sites test a
 ``tracer is None`` fast path.  Enable with ``swift_run(..., trace=True)``,
 ``RuntimeConfig(trace=True)``, or the ``repro profile`` / ``repro trace``

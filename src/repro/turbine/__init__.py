@@ -5,6 +5,12 @@ Turbine data (TDs) in the ADLB store; workers execute leaf tasks
 shipped through ADLB as Tcl code fragments.
 """
 
+from ..faults import (
+    DeadlineExceeded,
+    FaultPlan,
+    TaskError,
+    TaskFailure,
+)
 from .engine import Engine, EngineStats, Rule
 from .runtime import (
     LEGACY_OPTIONS,
@@ -30,4 +36,8 @@ __all__ = [
     "Output",
     "run_turbine_program",
     "TURBINE_TCL",
+    "FaultPlan",
+    "TaskError",
+    "TaskFailure",
+    "DeadlineExceeded",
 ]

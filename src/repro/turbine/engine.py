@@ -11,12 +11,16 @@ the async channel.
 from __future__ import annotations
 
 import itertools
+import time
+import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..adlb.client import AdlbClient
 from ..adlb.constants import CONTROL
+from ..faults import InjectedFault, RankKilled, TaskError, TaskFailure, snippet
+from ..mpi import AbortError, DeadlockError
 from ..tcl.errors import TclError
 
 
@@ -43,10 +47,22 @@ class EngineStats:
 class Engine:
     """Dataflow rule bookkeeping + main event loop for one engine rank."""
 
-    def __init__(self, client: AdlbClient, interp, tracer: Any | None = None):
+    def __init__(
+        self,
+        client: AdlbClient,
+        interp,
+        tracer: Any | None = None,
+        on_error: str = "retry",
+        retries_enabled: bool = False,
+        faults: Any | None = None,
+    ):
         self.client = client
         self.interp = interp
         self.tracer = tracer
+        self.on_error = on_error
+        self.retries_enabled = retries_enabled
+        self.faults = faults
+        self.failures: list[TaskFailure] = []
         self._seq = itertools.count(1)
         self.ready: deque[Rule] = deque()
         # td id -> rules blocked on it
@@ -117,22 +133,43 @@ class Engine:
     def drain(self) -> None:
         """Fire every ready rule (firing may enqueue more)."""
         tracer = self.tracer
+        faults = self.faults
         while self.ready:
             rule = self.ready.popleft()
             if rule.type == "LOCAL":
                 self.stats.rules_fired_local += 1
-                if tracer is None:
-                    self.interp.eval(rule.action)
-                else:
-                    t0 = tracer.now()
-                    self.interp.eval(rule.action)
-                    tracer.complete(
-                        self.client.rank,
-                        "rule",
-                        "fire",
-                        t0,
-                        payload={"id": rule.id, "name": rule.name},
-                    )
+                directive = None
+                if faults is not None:
+                    directive = faults.on_task(self.client.rank, rule.action)
+                    if directive is not None and directive[0] == "kill":
+                        raise RankKilled(self.client.rank, directive[1])
+                try:
+                    if directive is not None:
+                        if directive[0] == "raise":
+                            raise InjectedFault(directive[1])
+                        time.sleep(directive[1])
+                    if tracer is None:
+                        self.interp.eval(rule.action)
+                    else:
+                        t0 = tracer.now()
+                        self.interp.eval(rule.action)
+                        tracer.complete(
+                            self.client.rank,
+                            "rule",
+                            "fire",
+                            t0,
+                            payload={"id": rule.id, "name": rule.name},
+                        )
+                except (AbortError, DeadlockError):
+                    # Transport-level failures are rank problems, not
+                    # unit failures: never retried, always fatal.
+                    raise
+                except Exception as e:  # rule failure — engine stays up
+                    # LOCAL rules mutate engine-local state, so they
+                    # are never retried: continue records, the other
+                    # modes surface a TaskError.
+                    self._unit_error("rule", rule.action, e, retryable=False)
+                    continue
                 # Deferred refcount decrements land before the rule's
                 # accounting unit (they can close TDs and fire rules).
                 self.client.flush_refcounts()
@@ -155,6 +192,40 @@ class Engine:
                     target=rule.target,
                 )
 
+    def _unit_error(
+        self, kind: str, payload: str, e: BaseException, retryable: bool
+    ) -> bool:
+        """Exception-safe accounting for a failed unit of engine work.
+
+        Returns True when the unit was handed back to the server for
+        retry; otherwise the unit is accounted here (recorded under
+        ``continue``, raised as :class:`TaskError` otherwise)."""
+        error = "%s: %s" % (type(e).__name__, e)
+        tb = "".join(traceback.format_exception(type(e), e, e.__traceback__))
+        if retryable and self.on_error == "retry" and self.retries_enabled:
+            # The retry re-executes the unit's refcount decrements;
+            # flushing this attempt's would double-apply them.
+            self.client.discard_pending_refcounts()
+            self.client.task_fail(kind, error, tb)
+            return True
+        self.client.flush_refcounts()
+        failure = TaskFailure(
+            rank=self.client.rank,
+            kind=kind,
+            payload=snippet(payload),
+            attempts=1,
+            error=error,
+            traceback=tb,
+        )
+        if self.on_error == "continue":
+            self.failures.append(failure)
+            # Poisoned: dataflow blocked on this unit's outputs will
+            # never resolve; the master drains the run at quiescence.
+            self.client.decr_work(poison=True)
+            return False
+        self.client.decr_work()
+        raise TaskError(failure) from e
+
     # ------------------------------------------------------------------ loop
 
     def serve(self, initial_script: str | None = None) -> EngineStats:
@@ -169,14 +240,24 @@ class Engine:
         self.client.park_async((CONTROL,))
         if initial_script is not None:
             self.client.incr_work()
-            if tracer is None:
-                self.interp.eval(initial_script)
-            else:
-                with tracer.span(rank, "engine", "program"):
+            try:
+                if tracer is None:
                     self.interp.eval(initial_script)
-            self.drain()
-            self.client.flush_refcounts()
-            self.client.decr_work()
+                else:
+                    with tracer.span(rank, "engine", "program"):
+                        self.interp.eval(initial_script)
+            except (AbortError, DeadlockError):
+                raise
+            except Exception as e:  # program failure
+                # The initial program cannot be retried (its partial
+                # effects are live); continue records and drains
+                # whatever dataflow it did set up.
+                self._unit_error("program", initial_script, e, retryable=False)
+                self.drain()
+            else:
+                self.drain()
+                self.client.flush_refcounts()
+                self.client.decr_work()
         while True:
             self.drain()
             # Time blocked here with no ready rules is a dataflow stall:
@@ -194,11 +275,31 @@ class Engine:
                 self.on_close(msg[1])
             elif kind == "ctask":
                 self.stats.control_tasks_run += 1
-                if tracer is None:
-                    self.interp.eval(msg[2])
-                else:
-                    with tracer.span(rank, "engine", "ctask"):
+                directive = None
+                if self.faults is not None:
+                    directive = self.faults.on_task(rank, msg[2])
+                    if directive is not None and directive[0] == "kill":
+                        raise RankKilled(rank, directive[1])
+                try:
+                    if directive is not None:
+                        if directive[0] == "raise":
+                            raise InjectedFault(directive[1])
+                        time.sleep(directive[1])
+                    if tracer is None:
                         self.interp.eval(msg[2])
+                    else:
+                        with tracer.span(rank, "engine", "ctask"):
+                            self.interp.eval(msg[2])
+                except (AbortError, DeadlockError):
+                    raise
+                except Exception as e:  # control-task failure
+                    # Leased like worker tasks, so retry hands the unit
+                    # back to the server; either way the engine re-parks
+                    # and keeps serving its registered rules.
+                    self._unit_error("ctask", msg[2], e, retryable=True)
+                    self.drain()
+                    self.client.park_async((CONTROL,))
+                    continue
                 self.drain()
                 self.client.park_async((CONTROL,))  # also flushes refcounts
                 self.client.decr_work()

@@ -15,10 +15,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..adlb import constants as C
 from ..adlb.client import AdlbClient
 from ..adlb.layout import Layout
 from ..adlb.server import Server, ServerStats
-from ..mpi import Comm, run_world
+from ..faults import FaultState, RankKilled, TaskError, TaskFailure
+from ..mpi import Comm, RankFailure, run_world
 from ..tcl.interp import Interp
 from .builtins import register_turbine
 from .engine import Engine, EngineStats
@@ -70,6 +72,24 @@ class RuntimeConfig:
     read_cache: bool = True
     # Coalesce refcount decrements per TD, flushed at task boundaries.
     batch_refcounts: bool = True
+    # --- fault tolerance --------------------------------------------
+    # What happens when a unit of work raises: "retry" (default; the
+    # server leases tasks and requeues failures up to max_retries with
+    # backoff), "fail_fast" (abort promptly with a traceback-bearing
+    # TaskError), or "continue" (record a TaskFailure on
+    # RunResult.failures and keep draining).
+    on_error: str = "retry"
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    # Seconds a handed-out task may stay unacknowledged before its
+    # rank is presumed dead and the task is requeued.
+    lease_timeout: float = 60.0
+    # Wall-clock limit for the whole run; on expiry the world is shut
+    # down in an orderly way and DeadlineExceeded is raised.
+    deadline: float | None = None
+    # Seeded fault-injection plan (repro.faults.FaultPlan) or None.
+    # The faults-off path costs a single `is None` test per hook.
+    faults: Any | None = None
     # Program arguments, readable from Swift via argv("name")
     args: dict = field(default_factory=dict)
 
@@ -172,6 +192,13 @@ class RunResult:
     worker_stats: list[WorkerStats] = field(default_factory=list)
     # Populated when the run was traced (trace=True / a session tracer).
     trace: Any | None = None
+    # Units of work that failed permanently but did not abort the run
+    # (on_error="continue", or retries exhausted on a dead rank).
+    failures: list[TaskFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     @property
     def stdout(self) -> str:
@@ -253,55 +280,134 @@ def run_turbine_program(
     invoked on the first engine rank only.
     """
     config = config or RuntimeConfig()
+    if config.on_error not in ("retry", "fail_fast", "continue"):
+        raise ValueError(
+            "on_error must be 'retry', 'fail_fast', or 'continue', not %r"
+            % (config.on_error,)
+        )
     layout = config.layout()
     tracer = config.tracer
     if tracer is None and config.trace:
         from ..obs import Tracer
 
         tracer = Tracer(capacity=config.trace_capacity)
+    # Leases cost a dict insert/pop per task handout, so they are only
+    # switched on when something can actually use them: retries, or a
+    # fault plan that may kill ranks.
+    leases_enabled = (
+        config.on_error == "retry" and config.max_retries > 0
+    ) or config.faults is not None
+    faults = FaultState(config.faults) if config.faults is not None else None
     output = Output(echo=config.echo, trace=config.trace)
     server_stats: list[ServerStats] = []
     engine_stats: list[EngineStats] = []
     worker_stats: list[WorkerStats] = []
+    failures: list[TaskFailure] = []
     stats_lock = threading.Lock()
+
+    def announce_death(comm: Comm, e: RankKilled) -> None:
+        """Tell every server the rank is gone so its lease is swept.
+
+        ``silent`` kills skip this: recovery must then come from the
+        server-side lease-expiry sweep."""
+        if e.silent:
+            return
+        for s in layout.servers:
+            comm.send(
+                {"op": C.SOP_RANK_DEAD, "rank": e.rank, "reason": str(e)},
+                s,
+                C.TAG_SERVER,
+            )
 
     def main(comm: Comm) -> None:
         rank = comm.rank
         role = layout.role(rank)
         ctx = RankContext(layout=layout, role=role, output=output, config=config)
         if role == "server":
-            stats = Server(
-                comm, layout, steal=config.steal, tracer=tracer
-            ).run()
+            server = Server(
+                comm,
+                layout,
+                steal=config.steal,
+                tracer=tracer,
+                leases=leases_enabled,
+                lease_timeout=config.lease_timeout,
+                max_retries=config.max_retries,
+                retry_backoff=config.retry_backoff,
+                on_error=config.on_error,
+            )
+            stats = server.run()
             with stats_lock:
                 server_stats.append(stats)
+                failures.extend(server.failures)
             return
         if role == "engine":
-            engine = Engine(None, None, tracer=tracer)  # client/interp below
+            engine = Engine(  # client/interp attached below
+                None,
+                None,
+                tracer=tracer,
+                on_error=config.on_error,
+                retries_enabled=leases_enabled,
+                faults=faults,
+            )
             interp, client = make_client_interp(comm, layout, ctx, engine, setup)
             interp.eval(program)
             initial = entry if rank == layout.engines[0] else None
-            stats = engine.serve(initial_script=initial)
+            try:
+                stats = engine.serve(initial_script=initial)
+            except RankKilled as e:
+                announce_death(comm, e)
+                return
             with stats_lock:
                 engine_stats.append(stats)
+                failures.extend(engine.failures)
             return
         # worker
         interp, client = make_client_interp(comm, layout, ctx, None, setup)
         interp.eval(program)
-        worker = Worker(client, interp, tracer=tracer)
-        stats = worker.serve()
+        worker = Worker(
+            client,
+            interp,
+            tracer=tracer,
+            on_error=config.on_error,
+            retries_enabled=leases_enabled,
+            faults=faults,
+        )
+        try:
+            stats = worker.serve()
+        except RankKilled as e:
+            announce_death(comm, e)
+            return
         with stats_lock:
             worker_stats.append(stats)
+            failures.extend(worker.failures)
 
+    rank_labels = [layout.role(r) for r in range(config.size)]
     t0 = time.perf_counter()
-    run_world(
-        config.size, main, recv_timeout=config.recv_timeout, tracer=tracer
-    )
+    try:
+        run_world(
+            config.size,
+            main,
+            recv_timeout=config.recv_timeout,
+            tracer=tracer,
+            faults=faults,
+            rank_labels=rank_labels,
+            deadline=config.deadline,
+        )
+    except RankFailure as e:
+        # A permanently failed unit of work is a *task* problem, not a
+        # rank crash: surface the clean, traceback-bearing TaskError
+        # instead of the rank-failure wrapper.
+        for _, exc in e.failures:
+            if isinstance(exc, TaskError):
+                raise exc from None
+        raise
     elapsed = time.perf_counter() - t0
     trace = None
     if tracer is not None:
         from ..obs import RANK_DRIVER
 
+        if faults is not None:
+            tracer.metrics.fold_struct("fault", faults.stats)
         tracer.complete(
             RANK_DRIVER,
             "run",
@@ -323,4 +429,5 @@ def run_turbine_program(
         engine_stats=engine_stats,
         worker_stats=worker_stats,
         trace=trace,
+        failures=sorted(failures, key=lambda f: f.rank),
     )

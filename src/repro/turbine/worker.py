@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import time
+import traceback
 from dataclasses import dataclass
 from typing import Any
 
 from ..adlb.client import AdlbClient
 from ..adlb.constants import WORK
+from ..faults import InjectedFault, RankKilled, TaskError, TaskFailure, snippet
+from ..mpi import AbortError, DeadlockError
 
 
 @dataclass
@@ -22,16 +25,37 @@ class Worker:
     The old ``record_spans`` flag is gone: pass a
     :class:`repro.obs.Tracer` instead and read spans back via
     ``result.trace.spans("task")``.
+
+    ``on_error`` selects what happens when a task raises: ``retry``
+    (report the leased unit back via OP_TASK_FAIL so the server can
+    requeue it), ``continue`` (record a :class:`TaskFailure`, repair
+    the accounting, keep serving), or ``fail_fast`` (repair the
+    accounting, then raise a :class:`TaskError`).  ``faults`` is an
+    optional :class:`repro.faults.FaultState` consulted before each
+    task; when ``None`` — the default — the check is one pointer test.
     """
 
-    def __init__(self, client: AdlbClient, interp, tracer: Any | None = None):
+    def __init__(
+        self,
+        client: AdlbClient,
+        interp,
+        tracer: Any | None = None,
+        on_error: str = "retry",
+        retries_enabled: bool = False,
+        faults: Any | None = None,
+    ):
         self.client = client
         self.interp = interp
         self.stats = WorkerStats()
         self.tracer = tracer
+        self.on_error = on_error
+        self.retries_enabled = retries_enabled
+        self.faults = faults
+        self.failures: list[TaskFailure] = []
 
     def serve(self) -> WorkerStats:
         tracer = self.tracer
+        faults = self.faults
         rank = self.client.rank
         while True:
             got = self.client.get((WORK,))
@@ -41,8 +65,27 @@ class Worker:
                     fold_cache_stats(tracer, self.client, self.interp, rank)
                 return self.stats
             _, payload = got
+            directive = None
+            if faults is not None:
+                directive = faults.on_task(rank, payload)
+                if directive is not None and directive[0] == "kill":
+                    # Not a task failure: the whole rank dies holding
+                    # its lease; recovery is the server's job.
+                    raise RankKilled(rank, directive[1])
             t0 = time.perf_counter()
-            self.interp.eval(payload)
+            try:
+                if directive is not None:
+                    if directive[0] == "raise":
+                        raise InjectedFault(directive[1])
+                    time.sleep(directive[1])
+                self.interp.eval(payload)
+            except (AbortError, DeadlockError):
+                # Transport-level failures are rank problems, not task
+                # failures: never retried or recorded, always fatal.
+                raise
+            except Exception as e:  # task failure — rank stays up
+                self._task_error(rank, payload, e)
+                continue
             t1 = time.perf_counter()
             self.stats.tasks_run += 1
             self.stats.busy_time += t1 - t0
@@ -55,6 +98,39 @@ class Worker:
             # and fire rules, which the termination counter must see.
             self.client.flush_refcounts()
             self.client.decr_work()
+
+    def _task_error(self, rank: int, payload: Any, e: BaseException) -> None:
+        """Exception-safe task accounting: every failed task either
+        hands its unit back to the server (retry) or decrements the
+        termination counter itself (continue / fail_fast) — never
+        leaks it, so runs finish or abort deterministically."""
+        error = "%s: %s" % (type(e).__name__, e)
+        tb = "".join(traceback.format_exception(type(e), e, e.__traceback__))
+        if self.on_error == "retry" and self.retries_enabled:
+            # The retry re-executes the task's refcount decrements;
+            # flushing this attempt's would double-apply them.
+            self.client.discard_pending_refcounts()
+            self.client.task_fail("task", error, tb)
+            return
+        # The unit completes (as a failure): land the decrements it
+        # already performed, then account for it.
+        self.client.flush_refcounts()
+        failure = TaskFailure(
+            rank=rank,
+            kind="task",
+            payload=snippet(payload),
+            attempts=1,
+            error=error,
+            traceback=tb,
+        )
+        if self.on_error == "continue":
+            self.failures.append(failure)
+            # Poisoned: dataflow blocked on this task's outputs will
+            # never resolve; the master drains the run at quiescence.
+            self.client.decr_work(poison=True)
+            return
+        self.client.decr_work()
+        raise TaskError(failure) from e
 
 
 def fold_cache_stats(tracer: Any, client: AdlbClient, interp, rank: int) -> None:

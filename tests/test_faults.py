@@ -1,0 +1,357 @@
+"""Fault injection, task leases, retries, and failure propagation.
+
+The ``FAULT_SEED`` environment variable (used by the CI matrix) seeds
+every :class:`FaultPlan` here, so the probabilistic injection paths get
+exercised under several RNG streams without changing the assertions —
+each test's invariants must hold for *any* seed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import DeadlineExceeded, FaultPlan, TaskError, swift_run
+from repro.faults import FaultState, InjectedFault, TaskFailure
+from repro.mpi import DeadlockError, run_world
+from repro.mpi.launcher import RankFailure
+from repro.turbine import RuntimeConfig, run_turbine_program
+
+SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+# Dataflow fan-out whose leaf tasks are WORK units (python() ships to
+# workers, unlike a bare trace() which runs engine-local).
+FANOUT = """
+foreach i in [0:9] {
+    string s = python(strcat("x=", fromint(i)), "x");
+    trace(s);
+}
+"""
+FANOUT_EXPECTED = sorted("trace: %d" % i for i in range(10))
+
+
+def counters(res) -> dict:
+    return res.trace.metrics["counters"]
+
+
+class TestRetry:
+    def test_transient_task_error_is_retried(self):
+        res = swift_run(
+            FANOUT,
+            workers=2,
+            trace=True,
+            faults=FaultPlan(seed=SEED).fail_task("python", times=1),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert res.ok and not res.failures
+        c = counters(res)
+        assert c["adlb.lease.requeued"] >= 1
+        assert c["fault.task_errors"] == 1
+
+    def test_retries_exhausted_raises_task_error(self):
+        with pytest.raises(TaskError, match="InjectedFault") as exc_info:
+            swift_run(
+                FANOUT,
+                workers=2,
+                max_retries=1,
+                faults=FaultPlan(seed=SEED).fail_task("python", times=1000),
+            )
+        # Attempt accounting: the original try plus max_retries.
+        assert "after 2 attempt(s)" in str(exc_info.value)
+
+    def test_zero_retries_disables_leases(self):
+        # max_retries=0 under on_error="retry" degenerates to fail_fast
+        # semantics: the first failure surfaces, nothing is leased.
+        res = swift_run(FANOUT, workers=2, trace=True, max_retries=0)
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert "adlb.lease.granted" not in counters(res)
+
+
+class TestWorkerDeath:
+    def test_kill_one_of_three_workers_run_completes(self):
+        # Rank 2 (a worker) dies after its first task while holding a
+        # leased unit; the server notices, requeues, and the two
+        # survivors finish the job.
+        res = swift_run(
+            FANOUT,
+            workers=3,
+            trace=True,
+            faults=FaultPlan(seed=SEED).kill_rank(2, after_tasks=1),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert res.ok
+        c = counters(res)
+        assert c["adlb.lease.requeued"] >= 1
+        assert c["adlb.lease.dead_ranks"] == 1
+        assert c["fault.kills"] == 1
+        # Only the survivors report stats.
+        assert len(res.worker_stats) == 2
+        assert sum(w.tasks_run for w in res.worker_stats) == 9
+
+    def test_targeted_unit_outstanding_on_killed_rank(self):
+        # A WORK task targeted at the doomed rank is queued while that
+        # rank dies: the dead-rank sweep must strip the target and let
+        # any surviving worker run it.
+        program = (
+            "proc swift:main {} {\n"
+            "  turbine::rule [ list ] { turbine::log_output first } WORK"
+            " -target 2\n"
+            "  turbine::rule [ list ] { turbine::log_output second } WORK"
+            " -target 2\n"
+            "}\n"
+        )
+        res = run_turbine_program(
+            program,
+            RuntimeConfig(
+                size=5,
+                trace=True,
+                faults=FaultPlan(seed=SEED).kill_rank(2, after_tasks=1),
+            ),
+        )
+        assert sorted(res.stdout_lines) == ["first", "second"]
+        assert counters(res)["adlb.lease.dead_ranks"] == 1
+
+    def test_silent_death_recovered_by_lease_expiry(self):
+        # A silent kill sends no dead-rank notification; recovery rests
+        # entirely on the lease-timeout sweep.
+        res = swift_run(
+            FANOUT,
+            workers=3,
+            trace=True,
+            lease_timeout=0.5,
+            faults=FaultPlan(seed=SEED).kill_rank(2, after_tasks=1, silent=True),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        c = counters(res)
+        assert c["adlb.lease.expired"] >= 1
+        assert c["adlb.lease.dead_ranks"] == 1
+
+
+class TestEngineFailure:
+    # The injected fault matches the compiled rule body the engine
+    # evaluates (every STC-compiled statement goes through a generated
+    # proc), so the failure happens during rule evaluation.
+    def test_engine_rule_failure_fail_fast(self):
+        with pytest.raises(TaskError, match="InjectedFault"):
+            run_turbine_program(
+                "proc swift:main {} {\n"
+                "  turbine::rule [ list ] { boom_rule } LOCAL\n"
+                "}\n"
+                "proc boom_rule {} { turbine::log_output fired }\n",
+                RuntimeConfig(
+                    size=4,
+                    on_error="fail_fast",
+                    faults=FaultPlan(seed=SEED).fail_task("boom_rule"),
+                ),
+            )
+
+    def test_engine_rule_failure_continue_records(self):
+        res = run_turbine_program(
+            "proc swift:main {} {\n"
+            "  turbine::rule [ list ] { boom_rule } LOCAL\n"
+            "  turbine::rule [ list ] { turbine::log_output ok } LOCAL\n"
+            "}\n"
+            "proc boom_rule {} { turbine::log_output fired }\n",
+            RuntimeConfig(
+                size=4,
+                on_error="continue",
+                faults=FaultPlan(seed=SEED).fail_task("boom_rule"),
+            ),
+        )
+        assert res.stdout_lines == ["ok"]
+        assert not res.ok
+        assert len(res.failures) == 1
+        assert res.failures[0].kind == "rule"
+        assert "InjectedFault" in res.failures[0].error
+
+
+class TestOnErrorModes:
+    def test_fail_fast_is_prompt_and_traceback_bearing(self):
+        t0 = time.perf_counter()
+        with pytest.raises(TaskError) as exc_info:
+            swift_run(
+                FANOUT,
+                workers=2,
+                on_error="fail_fast",
+                faults=FaultPlan(seed=SEED).fail_task("python"),
+            )
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 5.0
+        msg = str(exc_info.value)
+        assert "Traceback" in msg
+        assert "InjectedFault" in msg
+        # The failure surfaces as TaskError, not a RankFailure wrapper.
+        assert not isinstance(exc_info.value, RankFailure)
+
+    def test_continue_records_accurate_counts(self):
+        res = swift_run(
+            "foreach i in [0:5] {\n"
+            '    string s = python(strcat("x=", fromint(i)), "x");\n'
+            "    trace(s);\n"
+            "}\n",
+            workers=2,
+            on_error="continue",
+            faults=FaultPlan(seed=SEED).fail_task("python", times=2),
+        )
+        assert not res.ok
+        assert len(res.failures) == 2
+        assert res.tasks_run == 4
+        assert len(res.stdout_lines) == 4
+        for f in res.failures:
+            assert isinstance(f, TaskFailure)
+            assert f.kind == "task"
+            assert "InjectedFault" in f.error
+            assert "Traceback" in f.traceback
+
+    def test_real_task_error_retried_then_surfaced(self):
+        # No injection: a genuinely broken task exhausts retries and
+        # surfaces with the underlying error text.
+        with pytest.raises(TaskError, match="ZeroDivisionError"):
+            swift_run(
+                'string s = python("1/0", ""); trace(s);',
+                workers=2,
+                max_retries=1,
+            )
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            swift_run("trace(1);", workers=2, on_error="explode")
+
+
+class TestMessageFaults:
+    def test_slow_task_and_delayed_messages_complete(self):
+        res = swift_run(
+            FANOUT,
+            workers=2,
+            trace=True,
+            faults=(
+                FaultPlan(seed=SEED)
+                .slow_task("python", delay=0.01, times=2)
+                .delay_messages(delay=0.005, times=3)
+            ),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        c = counters(res)
+        assert c["fault.slow_tasks"] == 2
+        assert c["fault.delayed_msgs"] == 3
+
+    def test_deadline_on_dropped_messages(self):
+        # Dropping async deliveries (tag 13) wedges the dataflow; the
+        # deadline turns the hang into an orderly DeadlineExceeded.
+        with pytest.raises(DeadlineExceeded):
+            swift_run(
+                FANOUT,
+                workers=2,
+                deadline=1.5,
+                recv_timeout=30.0,
+                faults=FaultPlan(seed=SEED).drop_messages(tag=13, times=100),
+            )
+
+
+class TestDiagnostics:
+    def test_recv_hang_report_names_the_blockage(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("noise", dest=1, tag=9)
+            elif comm.rank == 1:
+                comm.recv(source=0, tag=42, timeout=0.2)
+
+        with pytest.raises(RankFailure) as exc_info:
+            run_world(2, main)
+        failures = dict(exc_info.value.failures)
+        err = failures[1]
+        assert isinstance(err, DeadlockError)
+        msg = str(err)
+        assert "rank 1 blocked in recv(source=0, tag=42)" in msg
+        assert "pending-queue depths" in msg
+        assert "rank1=1" in msg  # the unmatched tag-9 message
+
+    def test_rank_failure_reports_roles_and_tracebacks(self):
+        with pytest.raises(TaskError):
+            swift_run(
+                FANOUT,
+                workers=2,
+                on_error="fail_fast",
+                faults=FaultPlan(seed=SEED).fail_task("python"),
+            )
+        # The richer diagnostics live on RankFailure itself.
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("kaboom")
+
+        with pytest.raises(RankFailure) as exc_info:
+            run_world(2, main, rank_labels=["engine", "worker"])
+        msg = str(exc_info.value)
+        assert "rank 1 (worker)" in msg
+        assert "Traceback" in msg
+        assert "kaboom" in msg
+
+    def test_stuck_rank_diagnostics_on_join_timeout(self):
+        # One rank never unwinds: the launcher reports it as stuck with
+        # its current stack instead of hanging forever.
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("primary failure")
+            if comm.rank == 0:
+                # Ignores the abort; sleeps past the grace window.
+                for _ in range(50):
+                    time.sleep(0.1)
+
+        with pytest.raises(RankFailure) as exc_info:
+            run_world(2, main, shutdown_grace=0.5)
+        msg = str(exc_info.value)
+        assert "primary failure" in msg
+
+
+class TestFaultPlanUnit:
+    def test_fail_task_times_and_rank_filters(self):
+        state = FaultState(
+            FaultPlan(seed=SEED).fail_task("python", times=2, rank=3)
+        )
+        assert state.on_task(1, "python: x") is None  # wrong rank
+        assert state.on_task(3, "shell: ls") is None  # no match
+        assert state.on_task(3, "python: x")[0] == "raise"
+        assert state.on_task(3, "python: x")[0] == "raise"
+        assert state.on_task(3, "python: x") is None  # times exhausted
+        assert state.stats.task_errors == 2
+
+    def test_kill_after_tasks(self):
+        state = FaultState(FaultPlan(seed=SEED).kill_rank(2, after_tasks=2))
+        assert state.on_task(2, "a") is None
+        assert state.on_task(2, "b") is None
+        assert state.on_task(2, "c") == ("kill", False)
+
+    def test_drop_probability_is_seeded(self):
+        def sends(seed):
+            state = FaultState(
+                FaultPlan(seed=seed).drop_messages(probability=0.5, times=10**9)
+            )
+            return [state.on_send(0, 1, 13) for _ in range(64)]
+
+        assert sends(SEED) == sends(SEED)  # deterministic replay
+        dropped = [d for d in sends(SEED) if d is not None]
+        assert 0 < len(dropped) < 64
+
+    def test_injected_fault_message(self):
+        state = FaultState(
+            FaultPlan(seed=SEED).fail_task("x", message="custom boom")
+        )
+        kind, msg = state.on_task(0, "x")
+        assert kind == "raise" and msg == "custom boom"
+        with pytest.raises(InjectedFault, match="custom boom"):
+            raise InjectedFault(msg)
+
+
+class TestFaultsOffPath:
+    def test_no_faults_no_lease_counters_without_retry_need(self):
+        res = swift_run(FANOUT, workers=2, trace=True, max_retries=0)
+        c = counters(res)
+        assert not any(k.startswith("fault.") for k in c)
+        assert not any(k.startswith("adlb.lease") for k in c)
+
+    def test_default_run_unaffected(self):
+        res = swift_run(FANOUT, workers=2)
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert res.ok

@@ -9,6 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro import SwiftRuntime, swift_run
+from repro.faults import TaskError
 from repro.mpi.launcher import RankFailure
 
 
@@ -87,7 +88,7 @@ class TestBasics:
         assert run_swift('assert(1 < 2, "math works"); printf("ok");') == ["ok"]
 
     def test_assert_failure_aborts(self):
-        with pytest.raises(RankFailure, match="assertion failed"):
+        with pytest.raises(TaskError, match="assertion failed"):
             swift_run('assert(1 > 2, "broken");', workers=2)
 
 
@@ -311,7 +312,7 @@ class TestArrays:
         assert out == ["16 36"]
 
     def test_double_write_same_subscript_fails(self):
-        with pytest.raises(RankFailure, match="twice"):
+        with pytest.raises(TaskError, match="twice"):
             swift_run("int a[]; a[0] = 1; a[0] = 2; printf(\"%i\", a[0]);", workers=2)
 
 
@@ -362,7 +363,7 @@ class TestInterlanguage:
         assert out == ["42"]
 
     def test_python_task_error_propagates(self):
-        with pytest.raises(RankFailure, match="python task failed"):
+        with pytest.raises(TaskError, match="python task failed"):
             swift_run('string s = python("1/0", ""); trace(s);', workers=2)
 
     def test_blob_round_trip(self):

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import swift_run
+from repro.faults import TaskError
 from repro.mpi.launcher import RankFailure
 
 
@@ -100,7 +101,7 @@ class TestArgv:
         assert run('printf("%i", argv_int("n", 7));') == ["7"]
 
     def test_argv_missing_no_default_fails(self):
-        with pytest.raises(RankFailure, match="missing program argument"):
+        with pytest.raises(TaskError, match="missing program argument"):
             swift_run('printf("%s", argv("required"));', workers=2)
 
     def test_args_visible_on_workers(self):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.faults import TaskError
 from repro.mpi.launcher import RankFailure
 from repro.turbine import RuntimeConfig, run_turbine_program
 
@@ -80,13 +81,13 @@ class TestRules:
         assert out == sorted("t%d" % i for i in range(30))
 
     def test_bad_rule_type_rejected(self):
-        with pytest.raises(RankFailure, match="bad rule type"):
+        with pytest.raises(TaskError, match="bad rule type"):
             run(
                 "proc swift:main {} { turbine::rule [ list ] { } BOGUS }\n"
             )
 
     def test_rule_unavailable_on_worker(self):
-        with pytest.raises(RankFailure, match="only available on engine"):
+        with pytest.raises(TaskError, match="only available on engine"):
             run(
                 "proc swift:main {} {\n"
                 "  turbine::spawn WORK { turbine::rule [ list ] { } LOCAL }\n"
@@ -164,7 +165,7 @@ class TestDataOps:
         assert out == ["2.5"]
 
     def test_retrieve_unset_is_error(self):
-        with pytest.raises(RankFailure, match="before set"):
+        with pytest.raises(TaskError, match="before set"):
             run(
                 "proc swift:main {} {\n"
                 "  set td [ turbine::allocate integer ]\n"
@@ -214,7 +215,7 @@ class TestRuntimeBehavior:
         assert res.stdout_lines == ["11"]
 
     def test_reinit_mode_clears_worker_state(self):
-        with pytest.raises(RankFailure, match="NameError"):
+        with pytest.raises(TaskError, match="NameError"):
             run_turbine_program(
                 "proc swift:main {} {\n"
                 "  turbine::spawn WORK { python::eval {n = 10} {} } 10\n"
@@ -236,7 +237,7 @@ class TestRuntimeBehavior:
         assert len(ranks) == 2
 
     def test_worker_error_reports_failure(self):
-        with pytest.raises(RankFailure, match="invalid command"):
+        with pytest.raises(TaskError, match="invalid command"):
             run(
                 "proc swift:main {} { turbine::spawn WORK { nonsense_cmd } }\n"
             )
