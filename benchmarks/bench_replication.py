@@ -1,0 +1,90 @@
+"""REPLICATION — cost of buddy replication of ADLB server state.
+
+Two configurations of the same two-server program:
+
+* **replication off** — ``replicate=False``: no op-log, no heartbeats;
+  the per-dispatch cost is a flag test and an empty-buffer check.
+  This is the tier-1 guard: it must stay within noise of the seed
+  timing, so fault tolerance costs nothing unless it is switched on.
+* **replication on** (the default with ``on_error="retry"`` and two
+  servers): every server mutation is appended to an op-log batch and
+  flushed to the buddy at the dispatch boundary, and clients run the
+  reliable (seq-stamped, re-sendable) RPC protocol.  The measured
+  ratio against the replication-off run is *recorded* — it is the
+  documented price of surviving server death, not a regression gate.
+
+``benchmarks/record.py`` reuses :func:`measure_replication_overhead`
+for the committed ``BENCH_hotpath.json`` snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import assert_within_seed_noise, series
+
+from repro import swift_run
+
+PROGRAM = """
+(int o) square(int x) {
+    o = x * x;
+}
+int squares[];
+foreach i in [0:9] {
+    squares[i] = square(i);
+}
+printf("sum of squares 0..9 = %i", sum_integer(squares));
+"""
+
+
+def run_program(**options):
+    res = swift_run(PROGRAM, workers=4, servers=2, **options)
+    assert "sum of squares 0..9 = 285" in res.stdout
+    return res
+
+
+def measure_replication_overhead(rounds: int = 5) -> dict:
+    """Best-of-rounds replication-on vs replication-off wall time."""
+
+    def best(**options) -> float:
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            run_program(**options)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    off = best(replicate=False)
+    on = best(replicate=True)
+    return {
+        "replication_off_s": off,
+        "replication_on_s": on,
+        "overhead_ratio": on / off,
+    }
+
+
+def test_replication_off_within_seed_noise(benchmark):
+    """Tier-1 guard: with replication disabled the fault-tolerance
+    layer may cost nothing beyond its flag tests."""
+    benchmark.pedantic(
+        lambda: run_program(replicate=False),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    series(benchmark, replicate=False)
+    assert_within_seed_noise(benchmark.stats.stats.mean)
+
+
+def test_replication_on_overhead_recorded(benchmark):
+    """Replication on: record the overhead (op-log batches, heartbeat
+    flushes, reliable-RPC sequencing) against the same program.  The
+    run must still produce the right answer; the timing is a recorded
+    series, not a floor/ceiling assertion."""
+    benchmark.pedantic(
+        lambda: run_program(replicate=True),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    series(benchmark, replicate=True)

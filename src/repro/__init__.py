@@ -24,7 +24,13 @@ Public entry points: :func:`swift_run`, :class:`SwiftRuntime`,
 
 from .api import SwiftRuntime, swift_run
 from .core import CompiledProgram, SwiftError, compile_swift
-from .faults import DeadlineExceeded, FaultPlan, TaskError, TaskFailure
+from .faults import (
+    DeadlineExceeded,
+    FaultPlan,
+    ServerLost,
+    TaskError,
+    TaskFailure,
+)
 from .mpi import RankFailure
 from .obs import Profile, Trace, Tracer
 from .turbine import RunResult, RuntimeConfig
@@ -45,6 +51,7 @@ __all__ = [
     "FaultPlan",
     "TaskError",
     "TaskFailure",
+    "ServerLost",
     "DeadlineExceeded",
     "RankFailure",
     "__version__",

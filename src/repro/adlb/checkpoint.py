@@ -1,0 +1,97 @@
+"""Checkpoint images: atomic write, validation, and restore planning.
+
+A checkpoint is a single pickle produced by the master server's
+two-phase snapshot protocol (see :mod:`repro.adlb.server`): per-server
+shard images (data store + pending tasks) plus per-engine rule tables.
+``repro run --restore <ckpt>`` replays one into a fresh world of the
+same shape.
+
+Restore semantics are at-least-once: units that were in flight at the
+snapshot re-run, and the restored termination counter is reconstructed
+as ``total captured tasks + one guard per engine`` — each engine holds
+its guard while re-registering rules (every ``add_rule`` increments the
+counter itself) and releases it when done, so the counter balances
+regardless of how many rules re-fire immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any
+
+from .layout import Layout
+from .workqueue import Task
+
+
+class CheckpointError(RuntimeError):
+    pass
+
+
+def write_checkpoint(path: str, image: dict) -> None:
+    """Write atomically (tmp + rename) so a crash mid-write can never
+    leave a truncated checkpoint behind."""
+    # Subscribers are rank-level rule subscriptions; the rules re-create
+    # them at restore, and stale ones would double-notify.  Pending
+    # container store-throughs (member_refs) stay: nothing re-creates
+    # those.
+    for shard in image.get("servers", {}).values():
+        for td in shard["store"].values():
+            td["subscribers"] = []
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        pickle.dump(image, f, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def read_checkpoint(path: str) -> dict:
+    if not os.path.exists(path):
+        raise CheckpointError("checkpoint %r does not exist" % path)
+    with open(path, "rb") as f:
+        image = pickle.load(f)
+    if not isinstance(image, dict) or image.get("version") != 1:
+        raise CheckpointError("%r is not a v1 repro checkpoint" % path)
+    return image
+
+
+def restore_plan(image: dict, layout: Layout) -> dict[str, Any]:
+    """Turn a checkpoint image into per-rank restore material.
+
+    Returns ``{"server_shards": {rank: shard}, "engine_rules":
+    {rank: [rule, ...]}}``.  The new world must have the same shape as
+    the checkpointed one — shard ownership and rule placement are
+    rank-keyed.
+    """
+    for key, have in (
+        ("size", layout.size),
+        ("n_servers", layout.n_servers),
+        ("n_engines", len(layout.engines)),
+    ):
+        want = image[key]
+        if want != have:
+            raise CheckpointError(
+                "checkpoint was taken with %s=%d; this run has %s=%d "
+                "(restore requires an identically-shaped world)"
+                % (key, want, key, have)
+            )
+    total_tasks = 0
+    server_shards: dict[int, dict] = {}
+    for rank, shard in image["servers"].items():
+        tasks = [Task(**d) for d in shard["tasks"]]
+        total_tasks += len(tasks)
+        server_shards[rank] = {
+            "store": shard["store"],
+            "tasks": tasks,
+            "next_id": shard["next_id"],
+            "work_count": None,
+        }
+    master = server_shards.setdefault(
+        layout.master_server,
+        {"store": {}, "tasks": [], "next_id": None, "work_count": None},
+    )
+    # Captured tasks plus one guard per engine; see module docstring.
+    master["work_count"] = total_tasks + len(layout.engines)
+    return {
+        "server_shards": server_shards,
+        "engine_rules": dict(image.get("engines", {})),
+    }

@@ -25,13 +25,14 @@ them via :class:`repro.turbine.runtime.RuntimeConfig`):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
 from ..lru import LRUCache
 from ..mpi import Comm
 from . import constants as C
-from .layout import Layout
+from .layout import Layout, ServerMap
 
 
 class AdlbError(RuntimeError):
@@ -52,6 +53,16 @@ class ClientDataStats:
     refcount_batched_ops: int = 0  # deltas coalesced into those batches
 
 
+@dataclass
+class ClientRpcStats:
+    """Reliable-RPC counters, folded into metrics as ``adlb.rpc.*``."""
+
+    sent: int = 0  # seq-stamped requests issued
+    resends: int = 0  # re-sends after the resend-interval expired
+    failovers: int = 0  # re-sends triggered by a ServerMap epoch bump
+    stale_replies: int = 0  # replies dropped by sequence mismatch
+
+
 class AdlbClient:
     def __init__(
         self,
@@ -60,10 +71,16 @@ class AdlbClient:
         read_cache: bool = False,
         batch_refcounts: bool = False,
         cache_capacity: int = 4096,
+        server_map: ServerMap | None = None,
+        reliable: bool = False,
+        resend_interval: float = 0.25,
     ):
         self.comm = comm
         self.layout = layout
         self.rank = comm.rank
+        # Static layout anchor; reliable mode re-resolves it through the
+        # shared ServerMap at every send, so a failover re-routes every
+        # later request to the shard's heir transparently.
         self.my_server = layout.my_server(self.rank)
         self._id_next = 0
         self._id_limit = 0
@@ -78,18 +95,95 @@ class AdlbClient:
         # ids with cached container-member entries (eviction index)
         self._sub_ids: set[int] = set()
         self.data_stats = ClientDataStats()
+        # ---- reliable RPC state ---------------------------------------
+        self.map = server_map
+        self.reliable = reliable
+        self.resend_interval = resend_interval
+        self.rpc_stats = ClientRpcStats()
+        self._seq = 0
+        # outstanding split GET (get_send .. get_wait)
+        self._get_msg: dict | None = None
+        self._get_seq = -1
+        self._get_epoch = 0
+        self._get_last_send = 0.0
+        self._get_reply: tuple | None = None
+        # outstanding async park (park_async .. recv_async)
+        self._park_msg: dict | None = None
+        self._park_seq = -1
+        self._park_epoch = 0
 
     # ------------------------------------------------------------------- RPC
 
+    def _resolve(self, anchor: int) -> int:
+        return self.map.resolve(anchor) if self.map is not None else anchor
+
+    def _epoch(self) -> int:
+        return self.map.epoch if self.map is not None else 0
+
     def _rpc(self, server: int, msg: dict) -> Any:
-        self.comm.send(msg, server, C.TAG_REQUEST)
-        reply, _ = self.comm.recv(source=server, tag=C.TAG_RESPONSE)
+        if self.reliable:
+            reply = self._reliable_call(server, msg)
+        else:
+            self.comm.send(msg, server, C.TAG_REQUEST)
+            reply, _ = self.comm.recv(source=server, tag=C.TAG_RESPONSE)
         if reply[0] == "error":
             raise AdlbError(reply[1])
         return reply[1]
 
     def _oneway(self, server: int, msg: dict) -> None:
+        if self.reliable:
+            # Fire-and-forget is unrecoverable after a failover or a
+            # dropped message; reliable mode upgrades every oneway to an
+            # acknowledged, idempotently re-sendable RPC.
+            self._reliable_call(server, msg)
+            return
         self.comm.send(msg, server, C.TAG_ONEWAY)
+
+    def _reliable_call(self, anchor: int, msg: dict) -> tuple:
+        """At-least-once RPC with at-most-once server-side effects.
+
+        The request carries a per-client sequence number; servers dedup
+        on it and cache the reply, so re-sends (resend-interval expiry,
+        or a ServerMap epoch bump after a failover) are safe even for
+        mutating ops.  Replies echo the sequence; anything else in the
+        response stream is a stale duplicate and is dropped."""
+        self._seq += 1
+        seq = self._seq
+        msg = dict(msg, seq=seq)
+        self.rpc_stats.sent += 1
+        epoch = self._epoch()
+        self.comm.send(msg, self._resolve(anchor), C.TAG_REQUEST)
+        last_send = time.monotonic()
+        while True:
+            got = self.comm.recv_poll(tag=C.TAG_RESPONSE, timeout=0.02)
+            if got is not None:
+                reply, _ = got
+                if reply and reply[-1] == seq:
+                    return reply[:-1]
+                if (
+                    self._get_seq >= 0
+                    and reply
+                    and reply[-1] == self._get_seq
+                ):
+                    # The reply to an outstanding split GET landed while
+                    # another RPC was in flight (the worker protocol
+                    # sends its counter decrement after get_send): hold
+                    # it for get_wait instead of dropping it.
+                    self._get_reply = reply[:-1]
+                else:
+                    self.rpc_stats.stale_replies += 1
+                continue
+            now = time.monotonic()
+            cur = self._epoch()
+            if cur != epoch:
+                epoch = cur
+                self.rpc_stats.failovers += 1
+                self.comm.send(msg, self._resolve(anchor), C.TAG_REQUEST)
+                last_send = now
+            elif now - last_send >= self.resend_interval:
+                self.rpc_stats.resends += 1
+                self.comm.send(msg, self._resolve(anchor), C.TAG_REQUEST)
+                last_send = now
 
     # ------------------------------------------------------------------ work
 
@@ -129,28 +223,135 @@ class AdlbClient:
         parked or has been told to shut down).
         """
         self.flush_refcounts()  # task boundary: land deferred decrements
-        self.comm.send(
-            {"op": C.OP_GET, "types": list(types)}, self.my_server, C.TAG_REQUEST
-        )
+        msg: dict = {"op": C.OP_GET, "types": list(types)}
+        if self.reliable:
+            self._seq += 1
+            msg["seq"] = self._seq
+            self._get_msg = msg
+            self._get_seq = self._seq
+            self._get_epoch = self._epoch()
+            self._get_last_send = time.monotonic()
+            self._get_reply = None
+            self.rpc_stats.sent += 1
+        self.comm.send(msg, self._resolve(self.my_server), C.TAG_REQUEST)
 
     def get_wait(self) -> tuple[str, Any] | None:
-        reply, _ = self.comm.recv(source=self.my_server, tag=C.TAG_RESPONSE)
+        if self.reliable:
+            reply = self._get_wait_reliable()
+        else:
+            reply, _ = self.comm.recv(source=self.my_server, tag=C.TAG_RESPONSE)
         if reply[0] == "shutdown":
             return None
         if reply[0] == "task":
             return reply[1], reply[2]
         raise AdlbError("unexpected get reply %r" % (reply,))
 
+    def _get_wait_reliable(self) -> tuple:
+        reply = self._get_reply
+        self._get_reply = None
+        while reply is None:
+            got = self.comm.recv_poll(tag=C.TAG_RESPONSE, timeout=0.02)
+            if got is not None:
+                r, _ = got
+                if r and r[-1] == self._get_seq:
+                    reply = r[:-1]
+                else:
+                    self.rpc_stats.stale_replies += 1
+                continue
+            now = time.monotonic()
+            cur = self._epoch()
+            if cur != self._get_epoch:
+                self._get_epoch = cur
+                self.rpc_stats.failovers += 1
+            elif now - self._get_last_send < self.resend_interval:
+                continue
+            else:
+                self.rpc_stats.resends += 1
+            self.comm.send(
+                self._get_msg, self._resolve(self.my_server), C.TAG_REQUEST
+            )
+            self._get_last_send = now
+        self._get_seq = -1
+        self._get_msg = None
+        return reply
+
     def park_async(self, types: tuple[str, ...] = (C.CONTROL,)) -> None:
         """Engine-style parked get; delivery arrives on the async channel."""
         self.flush_refcounts()  # task boundary: land deferred decrements
-        self._oneway(self.my_server, {"op": C.OP_GET_ASYNC, "types": list(types)})
+        if not self.reliable:
+            self._oneway(
+                self.my_server, {"op": C.OP_GET_ASYNC, "types": list(types)}
+            )
+            return
+        self._seq += 1
+        seq = self._seq
+        self._park_msg = {"op": C.OP_GET_ASYNC, "types": list(types), "seq": seq}
+        self._park_seq = seq
+        self._park_epoch = self._epoch()
+        self.rpc_stats.sent += 1
+        self.comm.send(
+            self._park_msg, self._resolve(self.my_server), C.TAG_REQUEST
+        )
+        # Wait for the ("parked", seq) acknowledgement so "parked" is
+        # distinguishable from "request lost"; the grant itself arrives
+        # on the async channel whenever work shows up.
+        last_send = time.monotonic()
+        while True:
+            got = self.comm.recv_poll(tag=C.TAG_RESPONSE, timeout=0.02)
+            if got is not None:
+                reply, _ = got
+                if reply and reply[-1] == seq:
+                    return
+                self.rpc_stats.stale_replies += 1
+                continue
+            now = time.monotonic()
+            cur = self._epoch()
+            if cur != self._park_epoch:
+                self._park_epoch = cur
+                self.rpc_stats.failovers += 1
+            elif now - last_send < self.resend_interval:
+                continue
+            else:
+                self.rpc_stats.resends += 1
+            self.comm.send(
+                self._park_msg, self._resolve(self.my_server), C.TAG_REQUEST
+            )
+            last_send = now
 
     def recv_async(self) -> tuple:
         """Receive the next async event: ('notify', id) |
-        ('ctask', type, payload) | ('shutdown',)."""
-        msg, _ = self.comm.recv(tag=C.TAG_ASYNC)
-        return msg
+        ('ctask', type, payload) | ('ckpt', gen) | ('shutdown',)."""
+        if not self.reliable:
+            msg, _ = self.comm.recv(tag=C.TAG_ASYNC)
+            return msg
+        while True:
+            got = self.comm.recv_poll(tag=C.TAG_ASYNC, timeout=0.05)
+            if got is not None:
+                msg, _ = got
+                if msg[0] == "ctask":
+                    if len(msg) > 3:
+                        if msg[3] != self._park_seq:
+                            # duplicate of an already-consumed grant
+                            self.rpc_stats.stale_replies += 1
+                            continue
+                        # Consume the park: later copies of this grant
+                        # (failover resends) no longer match.
+                        self._park_seq = -1
+                        return msg[:3]
+                return msg
+            if self._park_seq >= 0:
+                cur = self._epoch()
+                if cur != self._park_epoch:
+                    # Our server died while we were parked: re-park at
+                    # the heir (same seq — its dedup table knows whether
+                    # the dead server already granted us something).
+                    self._park_epoch = cur
+                    self.rpc_stats.failovers += 1
+                    self.comm.send(
+                        self._park_msg,
+                        self._resolve(self.my_server),
+                        C.TAG_REQUEST,
+                    )
 
     def task_fail(self, kind: str, error: str, traceback_text: str = "") -> None:
         """Report the leased task as failed; ownership of the unit (and

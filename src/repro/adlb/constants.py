@@ -55,6 +55,10 @@ SOP_WORK_DELTA = "WORK_DELTA"
 SOP_RANK_DEAD = "RANK_DEAD"  # launcher-side notification: a rank died
 SOP_DRAIN_PROBE = "DRAIN_PROBE"  # master asks: are you quiescent?
 SOP_DRAIN_RESP = "DRAIN_RESP"
+SOP_REPLICATE = "REPLICATE"  # batched op-log entries to the buddy server
+SOP_REPL_ACK = "REPL_ACK"  # buddy acknowledges applied entries
+SOP_CKPT_REQ = "CKPT_REQ"  # master asks a server for its checkpoint shard
+SOP_CKPT_PART = "CKPT_PART"  # shard/engine contribution back to the master
 
 # id allocation block size handed to clients
 ID_BLOCK_SIZE = 256

@@ -20,6 +20,7 @@ class Task:
     priority: int = 0
     target: int = -1  # -1 means any rank
     attempts: int = 0  # executions so far (>0 only for lease requeues)
+    uid: int = -1  # stable identity across requeues/replication (-1: none)
 
 
 class WorkQueue:
@@ -93,6 +94,18 @@ class WorkQueue:
             for _, _, task in heap:
                 out.append(task)
                 self.size -= 1
+        return out
+
+    def all_tasks(self) -> list[Task]:
+        """Every queued task (targeted and untargeted), unordered.
+
+        Used for resilvering a replica and for checkpoint snapshots;
+        the queue itself is not mutated."""
+        out: list[Task] = []
+        for heap in self._untargeted.values():
+            out.extend(task for _, _, task in heap)
+        for heap in self._targeted.values():
+            out.extend(task for _, _, task in heap)
         return out
 
     def counts_by_type(self) -> dict[str, int]:

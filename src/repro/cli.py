@@ -67,6 +67,40 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         help="wall-clock limit; the run shuts down in an orderly way on expiry",
     )
+    p.add_argument(
+        "--replicate",
+        dest="replicate",
+        action="store_true",
+        default=None,
+        help="replicate server state to a buddy server (survives server "
+        "death; needs --servers >= 2)",
+    )
+    p.add_argument(
+        "--no-replicate",
+        dest="replicate",
+        action="store_false",
+        help="disable server replication even when it would default on",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write periodic consistent checkpoints to PATH",
+    )
+    p.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between checkpoints (with --checkpoint)",
+    )
+    p.add_argument(
+        "--restore",
+        default=None,
+        metavar="PATH",
+        help="resume from a checkpoint instead of running the program "
+        "entry point (world shape must match the checkpointed run)",
+    )
 
 
 def _runtime_config(
@@ -83,6 +117,10 @@ def _runtime_config(
         on_error=ns.on_error,
         max_retries=ns.max_retries,
         deadline=ns.deadline,
+        replicate=ns.replicate,
+        checkpoint_path=ns.checkpoint,
+        checkpoint_interval=ns.checkpoint_interval,
+        restore=ns.restore,
         args=_parse_args_list(ns.arg),
     )
 

@@ -109,6 +109,27 @@ class DeadlineExceeded(RuntimeError):
     """The run's wall-clock deadline expired before completion."""
 
 
+class ServerLost(RuntimeError):
+    """An ADLB server rank died and replication was not enabled.
+
+    The dead server took its data-store shard, work queue, and (if it
+    was the master) the termination counter with it, so the run cannot
+    complete.  Raised by the surviving servers as a diagnostic instead
+    of letting the run hang; enable ``replicate=True`` (automatic under
+    ``on_error="retry"`` with at least two servers) to make server
+    death recoverable.
+    """
+
+    def __init__(self, rank: int, reason: str = "server died"):
+        self.rank = rank
+        super().__init__(
+            "ADLB server rank %d lost (%s) and replication is disabled; "
+            "its data shard and queued work are gone. Run with "
+            "replicate=True and n_servers >= 2 to survive server death."
+            % (rank, reason)
+        )
+
+
 # --------------------------------------------------------------- the plan
 
 
@@ -269,6 +290,7 @@ class FaultState:
         self._lock = threading.Lock()
         self._rng = random.Random(plan.seed)
         self._tasks_seen: dict[int, int] = {}
+        self._server_ops_seen: dict[int, int] = {}
         self._kill_done = [False] * len(plan.kills)
         self._task_budget = [r.times for r in plan.task_rules]
         self._msg_budget = [r.times for r in plan.msg_rules]
@@ -306,6 +328,32 @@ class FaultState:
                     return ("raise", rule.message)
                 self.stats.slow_tasks += 1
                 return ("sleep", rule.delay)
+        return None
+
+    def on_server_op(self, rank: int) -> tuple | None:
+        """Directive for the next dispatched message on server ``rank``.
+
+        Server ranks run no tasks, so :meth:`FaultPlan.kill_rank`'s
+        ``after_tasks`` counts *dispatches* for them: the server dies at
+        a message boundary, never mid-mutation — fail-stop, matching a
+        process crash between MPI receives.  Returns ``None`` or
+        ``("kill", silent)``.
+        """
+        plan = self.plan
+        if not plan.kills:
+            return None
+        with self._lock:
+            n = self._server_ops_seen.get(rank, 0) + 1
+            self._server_ops_seen[rank] = n
+            for i, kill in enumerate(plan.kills):
+                if (
+                    kill.rank == rank
+                    and not self._kill_done[i]
+                    and n > kill.after_tasks
+                ):
+                    self._kill_done[i] = True
+                    self.stats.kills += 1
+                    return ("kill", kill.silent)
         return None
 
     def on_send(self, src: int, dest: int, tag: int) -> tuple | None:

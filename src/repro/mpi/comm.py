@@ -151,6 +151,10 @@ class World:
         self.aborted = threading.Event()
         self.abort_reason: BaseException | None = None
         self._barrier = threading.Barrier(size)
+        # rank -> callable returning a one-line state summary, appended
+        # to recv-timeout hang reports (servers register lease tables,
+        # replication lag, queue depths).
+        self.diagnostics: dict[int, Any] = {}
 
     def comm(self, rank: int) -> "Comm":
         return Comm(self, rank)
@@ -259,11 +263,43 @@ class Comm:
         )
         src = "ANY_SOURCE" if source == ANY_SOURCE else str(source)
         tg = "ANY_TAG" if tag == ANY_TAG else str(tag)
-        return (
+        report = (
             "rank %d blocked in recv(source=%s, tag=%s) timed out after "
             "%.1fs with no matching message; per-rank pending-queue "
             "depths: %s" % (self.rank, src, tg, timeout, depths)
         )
+        # Registered diagnostics (servers report their lease table,
+        # replication lag, and queue state) tell whether the hang is a
+        # lost message, a dead server, or a stuck lease.
+        for rank in sorted(self.world.diagnostics):
+            try:
+                line = self.world.diagnostics[rank]()
+            except Exception as e:  # a broken callback must not mask the hang
+                line = "<diagnostic failed: %s>" % e
+            report += "\n  rank %d: %s" % (rank, line)
+        return report
+
+    def register_diagnostic(self, fn: Any) -> None:
+        """Attach a state-summary callback for this rank, shown in
+        recv-timeout hang reports.  ``fn`` takes no arguments and
+        returns a string; it runs on the *blocked* rank's thread, so it
+        must only read state."""
+        self.world.diagnostics[self.rank] = fn
+
+    def drain_dead(self, rank: int) -> list[tuple[Any, Status]]:
+        """Scavenge every message pending in a dead rank's mailbox.
+
+        In-process stand-in for a fault-tolerant transport's redelivery:
+        messages deposited for a rank that died before receiving them
+        are handed to the caller (the server that inherited the dead
+        rank's shards) instead of being lost.  Must only be called for
+        a rank known dead — the mailbox is emptied.
+        """
+        mb = self.world.mailboxes[rank]
+        with mb.cond:
+            pending = mb.messages
+            mb.messages = []
+        return [(payload, Status(src, tag)) for src, tag, payload in pending]
 
     def recv_poll(
         self,

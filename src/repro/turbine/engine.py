@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..adlb.client import AdlbClient
-from ..adlb.constants import CONTROL
+from ..adlb.constants import CONTROL, SOP_CKPT_PART, TAG_SERVER
 from ..faults import InjectedFault, RankKilled, TaskError, TaskFailure, snippet
 from ..mpi import AbortError, DeadlockError
 from ..tcl.errors import TclError
@@ -118,6 +118,59 @@ class Engine:
             rule.remaining += 1
         if rule.remaining == 0:
             self.ready.append(rule)
+
+    def checkpoint_rules(self) -> list[dict]:
+        """Snapshot the rule table for a checkpoint.
+
+        Blocked rules record only their still-unresolved inputs; on
+        restore, ``add_rule`` re-subscribes and anything closed in the
+        restored store resolves immediately."""
+        by_id: dict[int, tuple[Rule, list[int]]] = {}
+        for td, rules in self.blocked.items():
+            for rule in rules:
+                by_id.setdefault(rule.id, (rule, []))[1].append(td)
+        out = []
+        for rule, tds in by_id.values():
+            out.append(
+                {
+                    "inputs": tds,
+                    "action": rule.action,
+                    "type": rule.type,
+                    "target": rule.target,
+                    "priority": rule.priority,
+                    "name": rule.name,
+                }
+            )
+        for rule in self.ready:
+            out.append(
+                {
+                    "inputs": [],
+                    "action": rule.action,
+                    "type": rule.type,
+                    "target": rule.target,
+                    "priority": rule.priority,
+                    "name": rule.name,
+                }
+            )
+        return out
+
+    def _ckpt_reply(self, gen: int) -> None:
+        client = self.client
+        master = (
+            client.map.master
+            if client.map is not None
+            else client.layout.master_server
+        )
+        client.comm.send(
+            {
+                "op": SOP_CKPT_PART,
+                "kind": "engine",
+                "gen": gen,
+                "rules": self.checkpoint_rules(),
+            },
+            master,
+            TAG_SERVER,
+        )
 
     def on_close(self, td: int) -> None:
         self.stats.notifications += 1
@@ -228,16 +281,37 @@ class Engine:
 
     # ------------------------------------------------------------------ loop
 
-    def serve(self, initial_script: str | None = None) -> EngineStats:
+    def serve(
+        self,
+        initial_script: str | None = None,
+        restore: list[dict] | None = None,
+    ) -> EngineStats:
         """Run the engine event loop until shutdown.
 
         ``initial_script`` is the program entry point (only the first
         engine rank receives one); other engines only execute CONTROL
-        tasks shipped to them.
+        tasks shipped to them.  ``restore`` is this engine's rule table
+        from a checkpoint: the rules are re-registered (each
+        ``add_rule`` increments the termination counter itself) while
+        the engine holds the one guard unit the restored counter
+        reserved for it, released once re-registration is done.
         """
         tracer = self.tracer
         rank = self.client.rank
         self.client.park_async((CONTROL,))
+        if restore is not None:
+            for r in restore:
+                self.add_rule(
+                    list(r["inputs"]),
+                    r["action"],
+                    rtype=r["type"],
+                    target=r["target"],
+                    priority=r["priority"],
+                    name=r["name"],
+                )
+            self.drain()
+            self.client.flush_refcounts()
+            self.client.decr_work()  # the restore guard
         if initial_script is not None:
             self.client.incr_work()
             try:
@@ -303,6 +377,8 @@ class Engine:
                 self.drain()
                 self.client.park_async((CONTROL,))  # also flushes refcounts
                 self.client.decr_work()
+            elif kind == "ckpt":
+                self._ckpt_reply(msg[1])
             elif kind == "shutdown":
                 break
             else:

@@ -19,7 +19,7 @@ from ..adlb import constants as C
 from ..adlb.client import AdlbClient
 from ..adlb.layout import Layout
 from ..adlb.server import Server, ServerStats
-from ..faults import FaultState, RankKilled, TaskError, TaskFailure
+from ..faults import FaultState, RankKilled, ServerLost, TaskError, TaskFailure
 from ..mpi import Comm, RankFailure, run_world
 from ..tcl.interp import Interp
 from .builtins import register_turbine
@@ -90,6 +90,18 @@ class RuntimeConfig:
     # Seeded fault-injection plan (repro.faults.FaultPlan) or None.
     # The faults-off path costs a single `is None` test per hook.
     faults: Any | None = None
+    # Buddy replication of server state (survives server death).
+    # None = auto: on when on_error == "retry" and there are at least
+    # two servers (a lone server has no buddy).  Explicitly True with
+    # n_servers < 2 is a configuration error.
+    replicate: bool | None = None
+    # Periodic consistent checkpoints to this path (master-driven
+    # two-phase snapshot), every checkpoint_interval seconds.
+    checkpoint_path: str | None = None
+    checkpoint_interval: float | None = None
+    # Resume from a checkpoint written by a previous (same-shaped) run
+    # instead of executing the program entry point.
+    restore: str | None = None
     # Program arguments, readable from Swift via argv("name")
     args: dict = field(default_factory=dict)
 
@@ -234,6 +246,8 @@ def make_client_interp(
     ctx: RankContext,
     engine: Engine | None,
     setup: SetupFn | None,
+    server_map: Any | None = None,
+    reliable: bool = False,
 ) -> tuple[Interp, AdlbClient]:
     """Build the Tcl interpreter for an engine or worker rank."""
     config = ctx.config
@@ -242,6 +256,8 @@ def make_client_interp(
         layout,
         read_cache=config.read_cache,
         batch_refcounts=config.batch_refcounts,
+        server_map=server_map,
+        reliable=reliable,
     )
     interp = Interp(compile_enabled=config.tcl_compile)
     interp.echo = False
@@ -291,13 +307,45 @@ def run_turbine_program(
         from ..obs import Tracer
 
         tracer = Tracer(capacity=config.trace_capacity)
+    replicate = config.replicate
+    if replicate is None:
+        replicate = config.on_error == "retry" and config.n_servers >= 2
+    elif replicate and config.n_servers < 2:
+        raise ValueError(
+            "replicate=True needs n_servers >= 2: a lone server has "
+            "no buddy to hold its replica"
+        )
     # Leases cost a dict insert/pop per task handout, so they are only
-    # switched on when something can actually use them: retries, or a
-    # fault plan that may kill ranks.
+    # switched on when something can actually use them: retries, a
+    # fault plan that may kill ranks, or checkpoint/restore (the
+    # snapshot must capture leased units to re-run them).
     leases_enabled = (
-        config.on_error == "retry" and config.max_retries > 0
-    ) or config.faults is not None
+        (config.on_error == "retry" and config.max_retries > 0)
+        or config.faults is not None
+        or config.checkpoint_path is not None
+        or config.restore is not None
+    )
     faults = FaultState(config.faults) if config.faults is not None else None
+    # Reliable RPC (seq-stamped, re-sendable requests) is what lets
+    # clients survive a lost server or a dropped message; it rides
+    # along whenever either can actually happen.
+    reliable = replicate or (
+        config.faults is not None and bool(config.faults.msg_rules)
+    )
+    server_map = None
+    if replicate:
+        from ..adlb.layout import ServerMap
+
+        server_map = ServerMap(layout)
+    restore_shards: dict[int, dict] = {}
+    restore_rules: dict[int, list] = {}
+    restoring = config.restore is not None
+    if restoring:
+        from ..adlb.checkpoint import read_checkpoint, restore_plan
+
+        plan = restore_plan(read_checkpoint(config.restore), layout)
+        restore_shards = plan["server_shards"]
+        restore_rules = plan["engine_rules"]
     output = Output(echo=config.echo, trace=config.trace)
     server_stats: list[ServerStats] = []
     engine_stats: list[EngineStats] = []
@@ -334,8 +382,25 @@ def run_turbine_program(
                 max_retries=config.max_retries,
                 retry_backoff=config.retry_backoff,
                 on_error=config.on_error,
+                server_map=server_map,
+                replicate=replicate,
+                faults=faults,
+                reliable=reliable,
+                checkpoint_path=config.checkpoint_path,
+                checkpoint_interval=config.checkpoint_interval,
+                restore_shard=restore_shards.get(rank),
             )
-            stats = server.run()
+            try:
+                stats = server.run()
+            except RankKilled as e:
+                if not replicate:
+                    # The shard and queued work died with this rank and
+                    # nothing holds a replica: the run cannot complete.
+                    # Raise the diagnostic instead of letting every
+                    # client hang on a server that will never answer.
+                    raise ServerLost(e.rank, str(e)) from e
+                announce_death(comm, e)
+                return
             with stats_lock:
                 server_stats.append(stats)
                 failures.extend(server.failures)
@@ -349,11 +414,18 @@ def run_turbine_program(
                 retries_enabled=leases_enabled,
                 faults=faults,
             )
-            interp, client = make_client_interp(comm, layout, ctx, engine, setup)
+            interp, client = make_client_interp(
+                comm, layout, ctx, engine, setup, server_map, reliable
+            )
             interp.eval(program)
-            initial = entry if rank == layout.engines[0] else None
+            # On restore the dataflow state comes from the checkpoint's
+            # rule tables; re-running the entry point would duplicate it.
+            initial = None
+            if rank == layout.engines[0] and not restoring:
+                initial = entry
+            restore = list(restore_rules.get(rank, [])) if restoring else None
             try:
-                stats = engine.serve(initial_script=initial)
+                stats = engine.serve(initial_script=initial, restore=restore)
             except RankKilled as e:
                 announce_death(comm, e)
                 return
@@ -362,7 +434,9 @@ def run_turbine_program(
                 failures.extend(engine.failures)
             return
         # worker
-        interp, client = make_client_interp(comm, layout, ctx, None, setup)
+        interp, client = make_client_interp(
+            comm, layout, ctx, None, setup, server_map, reliable
+        )
         interp.eval(program)
         worker = Worker(
             client,
@@ -396,9 +470,10 @@ def run_turbine_program(
     except RankFailure as e:
         # A permanently failed unit of work is a *task* problem, not a
         # rank crash: surface the clean, traceback-bearing TaskError
-        # instead of the rank-failure wrapper.
+        # instead of the rank-failure wrapper.  A lost server likewise
+        # surfaces as its own diagnostic (ServerLost).
         for _, exc in e.failures:
-            if isinstance(exc, TaskError):
+            if isinstance(exc, (TaskError, ServerLost)):
                 raise exc from None
         raise
     elapsed = time.perf_counter() - t0

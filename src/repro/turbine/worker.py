@@ -145,3 +145,6 @@ def fold_cache_stats(tracer: Any, client: AdlbClient, interp, rank: int) -> None
     data_stats = getattr(client, "data_stats", None)
     if data_stats is not None:
         tracer.metrics.fold_struct("adlb.retrieve_cache", data_stats, rank=rank)
+    rpc_stats = getattr(client, "rpc_stats", None)
+    if rpc_stats is not None and rpc_stats.sent:
+        tracer.metrics.fold_struct("adlb.rpc", rpc_stats, rank=rank)

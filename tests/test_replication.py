@@ -1,0 +1,298 @@
+"""Server fault tolerance: replication, failover, checkpoint/restart.
+
+Like :mod:`tests.test_faults`, every plan here is seeded from the
+``FAULT_SEED`` environment variable (the CI matrix runs 0/1/2), so the
+assertions must hold for *any* seed.  The CI job filters these tests
+with ``-k replicate_on`` / ``-k replicate_off``, which is why those
+substrings appear in the test names.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import DeadlineExceeded, FaultPlan, ServerLost, swift_run
+from repro.adlb import constants as C
+from repro.adlb.checkpoint import CheckpointError, read_checkpoint
+from repro.adlb.layout import Layout, ServerMap
+from repro.adlb.server import Server, _Lease
+from repro.adlb.workqueue import Task
+from repro.mpi.comm import World
+
+SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+FANOUT = """
+foreach i in [0:9] {
+    string s = python(strcat("x=", fromint(i)), "x");
+    trace(s);
+}
+"""
+FANOUT_EXPECTED = sorted("trace: %d" % i for i in range(10))
+
+
+def counters(res) -> dict:
+    return res.trace.metrics["counters"]
+
+
+# With workers=2, servers=2, engines=1 the world has size 5; servers
+# occupy the top ranks [3, 4] and rank 3 is the master (termination
+# counter + TD id blocks).
+MASTER, OTHER = 3, 4
+
+
+class TestServerDeath:
+    def test_server_kill_recovery_replicate_on(self):
+        # A non-master server dies mid-run; its buddy promotes the
+        # replica shard and the run completes with the right answer.
+        res = swift_run(
+            FANOUT,
+            workers=2,
+            servers=2,
+            trace=True,
+            faults=FaultPlan(seed=SEED).kill_rank(OTHER, after_tasks=5),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert res.ok
+        c = counters(res)
+        assert c["fault.kills"] == 1
+        assert c["adlb.repl.server_deaths"] == 1
+        assert c["adlb.repl.promotions"] == 1
+        # Only the survivor reports server stats.
+        assert len(res.server_stats) == 1
+
+    def test_master_kill_recovery_replicate_on(self):
+        # The master dies: besides the shard, the heir must reconstruct
+        # the termination counter and the TD id-block cursor, or the
+        # run would never detect quiescence (or hand out stale ids).
+        res = swift_run(
+            FANOUT,
+            workers=2,
+            servers=2,
+            trace=True,
+            faults=FaultPlan(seed=SEED).kill_rank(MASTER, after_tasks=8),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert res.ok
+        assert counters(res)["adlb.repl.promotions"] == 1
+
+    def test_silent_server_kill_recovery_replicate_on(self):
+        # A silent kill sends no dead-rank notification: the buddy must
+        # notice the missing replication heartbeat on its own.
+        res = swift_run(
+            FANOUT,
+            workers=2,
+            servers=2,
+            trace=True,
+            lease_timeout=0.5,
+            faults=FaultPlan(seed=SEED).kill_rank(
+                OTHER, after_tasks=5, silent=True
+            ),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        c = counters(res)
+        assert c["adlb.repl.server_deaths"] == 1
+        assert c["adlb.repl.promotions"] == 1
+
+    def test_server_kill_replicate_off_raises_server_lost(self):
+        # Replication explicitly off: the death is unrecoverable, and
+        # it must surface as a prompt diagnostic naming the dead rank,
+        # not as a hang or an opaque timeout.
+        t0 = time.perf_counter()
+        with pytest.raises(ServerLost, match="server rank %d lost" % OTHER):
+            swift_run(
+                FANOUT,
+                workers=2,
+                servers=2,
+                replicate=False,
+                faults=FaultPlan(seed=SEED).kill_rank(OTHER, after_tasks=5),
+            )
+        assert time.perf_counter() - t0 < 10.0
+
+    def test_single_server_kill_replicate_off_raises_server_lost(self):
+        # A lone server has no buddy, so replication cannot be on; its
+        # death still produces the diagnostic rather than a hang.
+        with pytest.raises(ServerLost, match="replication is disabled"):
+            swift_run(
+                FANOUT,
+                workers=3,
+                servers=1,
+                faults=FaultPlan(seed=SEED).kill_rank(4, after_tasks=5),
+            )
+
+    def test_replicate_on_needs_two_servers(self):
+        with pytest.raises(ValueError, match="n_servers >= 2"):
+            swift_run(FANOUT, workers=3, servers=1, replicate=True)
+
+
+class TestMessageFaults:
+    """Satellite: the client<->server RPC path under drops and delays.
+
+    The key invariant is *no duplicate work*: a re-sent request that
+    already landed must hit the server's dedup slot, never enqueue a
+    second copy of a task or double-apply a mutation — so every run
+    executes exactly 10 leaf tasks and prints exactly 10 lines.
+    """
+
+    def test_request_drops_resend_replicate_off(self):
+        # Single server (replication off); dropped client->server
+        # requests are re-sent after the resend interval.
+        res = swift_run(
+            FANOUT,
+            workers=2,
+            servers=1,
+            trace=True,
+            faults=FaultPlan(seed=SEED).drop_messages(
+                tag=C.TAG_REQUEST, times=3
+            ),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert res.tasks_run == 10
+        c = counters(res)
+        assert c["fault.dropped_msgs"] == 3
+        assert c["adlb.rpc.resends"] >= 3
+
+    def test_response_drops_dedup_replicate_off(self):
+        # Dropped server->client replies: the client re-sends, and the
+        # server recognizes the duplicate sequence number and re-sends
+        # the cached reply instead of reprocessing the operation.
+        res = swift_run(
+            FANOUT,
+            workers=2,
+            servers=1,
+            trace=True,
+            faults=FaultPlan(seed=SEED).drop_messages(
+                tag=C.TAG_RESPONSE, times=3
+            ),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert res.tasks_run == 10
+        c = counters(res)
+        assert c["adlb.rpc.resends"] >= 3
+        assert c["adlb.repl.dedup_hits"] >= 1
+
+    def test_request_drops_resend_replicate_on(self):
+        # Same invariant with two replicating servers: re-sends and
+        # replication must not double-queue work.
+        res = swift_run(
+            FANOUT,
+            workers=2,
+            servers=2,
+            trace=True,
+            faults=FaultPlan(seed=SEED).drop_messages(
+                tag=C.TAG_REQUEST, times=3
+            ),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert res.tasks_run == 10
+
+    def test_probabilistic_delay_jitter_replicate_on(self):
+        # Seeded random message delays reorder traffic without losing
+        # it; the run must stay exactly-once from the outside.
+        res = swift_run(
+            FANOUT,
+            workers=2,
+            servers=2,
+            trace=True,
+            faults=FaultPlan(seed=SEED).delay_messages(
+                probability=0.2, delay=0.002, times=None
+            ),
+        )
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert res.tasks_run == 10
+
+
+class TestCheckpointRestart:
+    def _program(self, tmp_path) -> str:
+        # Each leaf task writes its own marker file, so completion is
+        # observable across two separate runs (stdout dies with run 1).
+        return (
+            "foreach i in [0:9] {\n"
+            '    string code = strcat("import time; time.sleep(0.12); '
+            "open('%s/out_\", fromint(i), \"','w').write('\", fromint(i), "
+            '"\'); x=", fromint(i));\n'
+            '    string s = python(code, "x");\n'
+            "    trace(s);\n"
+            "}\n"
+        ) % tmp_path
+
+    def test_restore_resumes_killed_world(self, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt")
+        program = self._program(tmp_path)
+        with pytest.raises(DeadlineExceeded):
+            swift_run(
+                program,
+                workers=1,
+                servers=1,
+                checkpoint_path=ckpt,
+                checkpoint_interval=0.05,
+                deadline=0.7,
+            )
+        assert os.path.exists(ckpt)
+        done_before = {
+            f for f in os.listdir(tmp_path) if f.startswith("out_")
+        }
+        assert len(done_before) < 10  # the run really was cut short
+        res = swift_run(program, workers=1, servers=1, restore=ckpt)
+        assert res.ok
+        for i in range(10):
+            path = tmp_path / ("out_%d" % i)
+            assert path.read_text() == str(i)
+
+    def test_restore_checkpoint_validated(self, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt")
+        program = self._program(tmp_path)
+        with pytest.raises(DeadlineExceeded):
+            swift_run(
+                program,
+                workers=1,
+                servers=1,
+                checkpoint_path=ckpt,
+                checkpoint_interval=0.05,
+                deadline=0.7,
+            )
+        image = read_checkpoint(ckpt)
+        assert image["version"] == 1
+        # Restoring into a different world shape is refused up front.
+        with pytest.raises(CheckpointError, match="identically-shaped"):
+            swift_run(program, workers=3, servers=1, restore=ckpt)
+
+    def test_restore_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            swift_run(
+                FANOUT,
+                workers=2,
+                servers=1,
+                restore=str(tmp_path / "nope.ckpt"),
+            )
+
+
+class TestHangDiagnostics:
+    def test_server_diagnostic_reports_leases_and_repl_lag(self):
+        # Satellite: recv-timeout hang reports must include the owning
+        # server's lease table and replication lag, not just queue
+        # depths.  Exercise the registered diagnostic directly.
+        layout = Layout(size=5, n_servers=2, n_engines=1)
+        world = World(5, recv_timeout=None)
+        server = Server(
+            world.comm(MASTER),
+            layout,
+            leases=True,
+            server_map=ServerMap(layout),
+            replicate=True,
+        )
+        server._leases[1] = _Lease(
+            task=Task(payload="leaf-task-payload", type=C.WORK),
+            client=1,
+            deadline=time.monotonic() + 30.0,
+        )
+        server._repl_seq, server._repl_acked = 7, 4
+        line = server._diagnostic()
+        assert "leaf-task-payload" in line
+        assert "repl lag=3" in line
+        assert "buddy=%d" % OTHER in line
+        # The diagnostic is registered with the comm layer, so hang
+        # reports (DeadlockError) pick it up automatically.
+        assert world.diagnostics[MASTER]() == line
