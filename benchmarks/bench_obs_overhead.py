@@ -40,6 +40,29 @@ def run_quickstart(**options):
     return res
 
 
+def measure_obs_overhead(rounds: int = 5) -> dict:
+    """Best-of-rounds traced-off vs traced-on wall time (plus event
+    count), recorded into BENCH_hotpath.json by ``record.py``."""
+    import time
+
+    def best(**options):
+        times, res = [], None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            res = run_quickstart(**options)
+            times.append(time.perf_counter() - t0)
+        return min(times), res
+
+    off, _ = best()
+    on, traced = best(trace=True)
+    return {
+        "traced_off_s": off,
+        "traced_on_s": on,
+        "overhead_ratio": on / off,
+        "events": len(traced.trace),
+    }
+
+
 def test_traced_off_within_seed_noise(benchmark):
     """Tier-1 guard: the no-op fast path must not regress the seed."""
     benchmark.pedantic(run_quickstart, rounds=5, iterations=1, warmup_rounds=1)

@@ -19,6 +19,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 from bench_faults import measure_faults_overhead  # noqa: E402
+from bench_obs_overhead import measure_obs_overhead  # noqa: E402
 from bench_replication import measure_replication_overhead  # noqa: E402
 from bench_hotpath import (  # noqa: E402
     EXPR_CALL,
@@ -41,6 +42,7 @@ def main() -> None:
         "end_to_end": measure_end_to_end(rounds=5),
         "bench_faults_overhead": measure_faults_overhead(rounds=5),
         "bench_replication_overhead": measure_replication_overhead(rounds=5),
+        "bench_obs_overhead": measure_obs_overhead(rounds=5),
     }
     OUT.write_text(json.dumps(results, indent=2) + "\n")
     for name in ("tcl_proc_dispatch", "tcl_expr_loop", "end_to_end"):
@@ -55,6 +57,12 @@ def main() -> None:
         "%-18s %.2fx" % (
             "repl_overhead",
             results["bench_replication_overhead"]["overhead_ratio"],
+        )
+    )
+    print(
+        "%-18s %.2fx" % (
+            "obs_overhead",
+            results["bench_obs_overhead"]["overhead_ratio"],
         )
     )
     print("wrote", OUT)

@@ -74,10 +74,18 @@ class AdlbClient:
         server_map: ServerMap | None = None,
         reliable: bool = False,
         resend_interval: float = 0.25,
+        tracer: Any | None = None,
     ):
         self.comm = comm
         self.layout = layout
         self.rank = comm.rank
+        # Provenance context: the id of the unit of work (task / fired
+        # rule / control task / program) currently executing on this
+        # rank.  Set by the engine/worker loops when tracing; every
+        # store issued while it is set emits a ``prov.write`` lineage
+        # edge (unit -> td) into the trace.
+        self.tracer = tracer
+        self.prov_unit: str | None = None
         # Static layout anchor; reliable mode re-resolves it through the
         # shared ServerMap at every send, so a failover re-routes every
         # later request to the shard's heir transparently.
@@ -193,21 +201,27 @@ class AdlbClient:
         type: str = C.WORK,
         priority: int = 0,
         target: int = -1,
+        prov: str | None = None,
     ) -> None:
-        """Submit a task.  Targeted tasks are routed to the target's server."""
+        """Submit a task.  Targeted tasks are routed to the target's server.
+
+        ``prov`` names the rule or unit that spawned the task (lineage
+        edge source); it rides along only on traced runs."""
         server = (
             self.layout.my_server(target) if target >= 0 else self.my_server
         )
-        self._oneway(
-            server,
-            {
-                "op": C.OP_PUT,
-                "type": type,
-                "payload": payload,
-                "priority": priority,
-                "target": target,
-            },
-        )
+        msg = {
+            "op": C.OP_PUT,
+            "type": type,
+            "payload": payload,
+            "priority": priority,
+            "target": target,
+        }
+        if prov is None and self.tracer is not None:
+            prov = self.prov_unit
+        if prov is not None:
+            msg["prov"] = prov
+        self._oneway(server, msg)
 
     def get(self, types: tuple[str, ...] = (C.WORK,)) -> tuple[str, Any] | None:
         """Blocking get; returns (type, payload) or None on shutdown."""
@@ -411,6 +425,12 @@ class AdlbClient:
             # snapshot (possible with decr_write=0 after a snapshot).
             if self._read_cache.pop((id, None)) is not None:
                 self.data_stats.evictions += 1
+        if self.tracer is not None:
+            # Lineage edge: the current unit wrote this TD.
+            prov_payload: dict = {"td": id, "unit": self.prov_unit}
+            if subscript is not None:
+                prov_payload["sub"] = subscript
+            self.tracer.instant(self.rank, "prov", "write", prov_payload)
         self._rpc(
             self.layout.home_server(id),
             {
@@ -538,6 +558,23 @@ class AdlbClient:
                 continue
             by_server.setdefault(self.layout.home_server(id), []).append(
                 {"id": id, "read_delta": read_delta, "write_delta": write_delta}
+            )
+        if self.tracer is not None:
+            # Lineage: a deferred refcount batch belongs to the unit
+            # whose boundary flushed it (decrements can close TDs and
+            # fire downstream rules, so the edge matters causally).
+            self.tracer.instant(
+                self.rank,
+                "prov",
+                "refcount_flush",
+                {
+                    "unit": self.prov_unit,
+                    "ops": sum(len(v) for v in by_server.values()),
+                    "tds": sorted(
+                        id for ops in by_server.values() for id in
+                        (o["id"] for o in ops)
+                    ),
+                },
             )
         for server, ops in by_server.items():
             reply = self._rpc(server, {"op": C.OP_REFCOUNT_BATCH, "ops": ops})

@@ -80,6 +80,9 @@ class ReplStats:
     promotions: int = 0
     scavenged_msgs: int = 0
     dedup_hits: int = 0
+    # Peak op-log entries sent but not yet acked by the buddy (worst
+    # replication lag observed; per-rank gauge on traced runs).
+    max_lag: int = 0
 
 
 @dataclass
@@ -293,6 +296,8 @@ class Server:
         checkpoint_path: str | None = None,
         checkpoint_interval: float | None = None,
         restore_shard: dict | None = None,
+        monitor: Any | None = None,
+        status_interval: float | None = None,
     ):
         self.comm = comm
         self.layout = layout
@@ -376,6 +381,13 @@ class Server:
         self._ward_timeout = min(lease_timeout, 5.0)
         self._hb_interval = max(0.02, min(self._ward_timeout / 4, 0.25))
         self._uid_counter = 0
+        # ---- live monitoring ------------------------------------------
+        # The master server holds the shared RunMonitor; other servers
+        # push their status dict to it every status_interval.  Checked
+        # in the main loop (busy servers never reach _idle_tick).
+        self._monitor = monitor
+        self._status_interval = status_interval
+        self._next_status = 0.0
         # ---- checkpointing (master drives) ----------------------------
         self.ckpt_path = checkpoint_path
         self.ckpt_interval = checkpoint_interval or 0.5
@@ -415,6 +427,8 @@ class Server:
                 got = self.comm.recv_poll(timeout=0.02)
                 if self._leases is not None:
                     self._lease_tick()
+                if self._status_interval is not None:
+                    self._status_tick()
                 if got is None:
                     self.stats.idle_polls += 1
                     self._idle_tick()
@@ -431,6 +445,11 @@ class Server:
                 except Exception:
                     pass
             raise
+        if self._status_interval is not None:
+            # Final status so the driver's last sample reflects the
+            # completed run even when shorter than one interval.
+            self._next_status = 0.0
+            self._status_tick()
         if self.tracer is not None:
             self.tracer.metrics.fold_struct("adlb", self.stats, rank=self.rank)
             if self._leases is not None:
@@ -547,6 +566,7 @@ class Server:
                 payload=msg["payload"],
                 priority=msg.get("priority", 0),
                 target=msg.get("target", -1),
+                prov=msg.get("prov"),
             )
             if tracer is not None:
                 tracer.instant(
@@ -771,6 +791,12 @@ class Server:
         if op == C.SOP_SHUTDOWN:
             self._enter_shutdown()
             return
+        if op == C.SOP_STATUS:
+            # Relayed status from a non-master server; drop it quietly
+            # when not (or no longer) holding the monitor.
+            if self._monitor is not None:
+                self._monitor.update(msg["rank"], msg["status"])
+            return
         if op == C.SOP_RANK_DEAD:
             rank = msg["rank"]
             if self.layout.is_server(rank):
@@ -843,12 +869,22 @@ class Server:
             )
 
     def _accept_task(self, task: Task) -> None:
-        if self.replicate and task.uid < 0:
-            # Stable identity so op-log inserts/removals correlate.
+        if task.uid < 0 and (self.replicate or self.tracer is not None):
+            # Stable identity so op-log inserts/removals correlate and
+            # provenance can chain retried attempts to their original.
             self._uid_counter += 1
             task = dataclasses.replace(
                 task, uid=(self.rank << 20) | self._uid_counter
             )
+            if self.tracer is not None:
+                # Lineage node: a unit of queued work, linked back to
+                # the rule/unit that spawned it.
+                self.tracer.instant(
+                    self.rank,
+                    "prov",
+                    "task",
+                    {"uid": task.uid, "by": task.prov, "type": task.type},
+                )
         for i, parked in enumerate(self.parked):
             if task.type in parked.types and task.target in (-1, parked.rank):
                 del self.parked[i]
@@ -878,6 +914,16 @@ class Server:
             slot[source] = (seq, (tag, payload))
         if self._leases is not None:
             self._grant(task, source)
+        if self.tracer is not None:
+            # Lineage edge: the queued unit was handed to this client;
+            # the k-th grant to a rank pairs with its k-th executed unit
+            # (one outstanding task per client).
+            self.tracer.instant(
+                self.rank,
+                "prov",
+                "grant",
+                {"uid": task.uid, "client": source, "attempts": task.attempts},
+            )
         self.comm.send(payload, source, tag)
         self._repl(
             ("grant", task, source, seq if seq >= 0 else None, (tag, payload))
@@ -938,8 +984,21 @@ class Server:
         self._repl_seq += len(buf)
         self.repl_stats.batches_sent += 1
         self.repl_stats.entries_sent += len(buf)
+        lag = self._repl_seq - self._repl_acked
+        if lag > self.repl_stats.max_lag:
+            self.repl_stats.max_lag = lag
         if heartbeat:
             self.repl_stats.heartbeats += 1
+        if self.tracer is not None and buf:
+            # Replication lag is causal state: a promotion can only
+            # recover what was flushed, so the analyzer links these to
+            # promote/requeue events.
+            self.tracer.instant(
+                self.rank,
+                "repl",
+                "flush",
+                {"entries": len(buf), "seq": self._repl_seq, "lag": lag},
+            )
         self.comm.send(
             {"op": C.SOP_REPLICATE, "entries": buf, "seq": self._repl_seq},
             self._buddy,
@@ -1129,12 +1188,12 @@ class Server:
                 self.rank,
                 "adlb",
                 "lease_requeue",
-                {"type": task.type, "attempts": attempts},
+                {"type": task.type, "attempts": attempts, "uid": task.uid},
             )
         if delay <= 0:
             self._accept_task(nxt)
         else:
-            if self.replicate and nxt.uid < 0:
+            if nxt.uid < 0 and (self.replicate or self.tracer is not None):
                 self._uid_counter += 1
                 nxt = dataclasses.replace(
                     nxt, uid=(self.rank << 20) | self._uid_counter
@@ -1284,6 +1343,42 @@ class Server:
         if self.tracer is not None:
             self.tracer.instant(self.rank, "adlb", "steal_req", {"victim": victim})
         self.comm.send({"op": C.SOP_STEAL_REQ}, victim, C.TAG_SERVER)
+
+    def _status_tick(self) -> None:
+        """Push this server's status to the monitor (master: directly;
+        others: an ``SOP_STATUS`` one-liner to the master)."""
+        now = time.monotonic()
+        if now < self._next_status:
+            return
+        self._next_status = now + (self._status_interval or 0.5)
+        status = self._status()
+        if self._monitor is not None:
+            self._monitor.update(self.rank, status)
+            return
+        master = (
+            self.map.master if self.map is not None else self.layout.master_server
+        )
+        if master != self.rank and master not in self._dead_servers:
+            self.comm.send(
+                {"op": C.SOP_STATUS, "rank": self.rank, "status": status},
+                master,
+                C.TAG_SERVER,
+            )
+
+    def _status(self) -> dict:
+        status = {
+            "matched": self.stats.tasks_matched,
+            "queued": self.queue.size,
+            "parked": len(self.parked),
+            "clients": len(self.attached_clients),
+        }
+        if self._leases is not None:
+            status["leases"] = len(self._leases)
+        if self.replicate:
+            status["repl_lag"] = self._repl_seq - self._repl_acked
+        if self.is_master:
+            status["outstanding"] = max(0, self.work_count)
+        return status
 
     def _idle_tick(self) -> None:
         self._maybe_steal()

@@ -21,6 +21,7 @@ class Task:
     target: int = -1  # -1 means any rank
     attempts: int = 0  # executions so far (>0 only for lease requeues)
     uid: int = -1  # stable identity across requeues/replication (-1: none)
+    prov: str | None = None  # spawning rule/unit id (traced runs only)
 
 
 class WorkQueue:

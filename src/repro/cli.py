@@ -4,19 +4,25 @@ Usage::
 
     python -m repro compile program.swift [-O2] [-o program.tic]
     python -m repro run program.swift [--workers N] [--servers N]
-        [--engines N] [-O2] [--arg name=value ...] [--trace]
+        [--engines N] [-O2] [--arg name=value ...] [--trace] [--monitor]
     python -m repro runtcl program.tic [--workers N]
     python -m repro profile program.swift [--chrome trace.json]
     python -m repro trace program.swift [-o trace.json]
+    python -m repro analyze program.swift [--dot run.dot] [--json out.json]
+    python -m repro analyze saved.trace.json
     python -m repro submit program.swift --scheduler slurm --nodes 512
 
 ``compile`` writes the generated Turbine Tcl (a ``.tic`` file, as real
 STC calls them); ``run`` compiles and executes on the thread-backed
-runtime; ``runtcl`` executes an already-compiled program; ``profile``
-runs with the :mod:`repro.obs` tracer enabled and prints the
-per-category/per-worker breakdown; ``trace`` runs traced and writes a
-Chrome ``trace_event`` JSON (load in chrome://tracing or Perfetto);
-``submit`` renders the batch submission script for a real machine.
+runtime (``--monitor`` adds a live one-line progress readout); ``runtcl``
+executes an already-compiled program; ``profile`` runs with the
+:mod:`repro.obs` tracer enabled and prints the per-category/per-worker
+breakdown; ``trace`` runs traced and writes a Chrome ``trace_event``
+JSON (load in chrome://tracing or Perfetto); ``analyze`` reconstructs
+the run DAG from provenance events and prints the critical path with
+per-hop stall attribution (accepts either a Swift source to run traced
+or a ``.trace.json`` saved earlier); ``submit`` renders the batch
+submission script for a real machine.
 """
 
 from __future__ import annotations
@@ -42,6 +48,18 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
         help="program argument readable via argv()",
     )
     p.add_argument("--trace", action="store_true", help="collect runtime logs")
+    p.add_argument(
+        "--monitor",
+        action="store_true",
+        help="print a live one-line progress/utilization readout",
+    )
+    p.add_argument(
+        "--monitor-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="seconds between monitor samples (with --monitor)",
+    )
     p.add_argument(
         "--interp-mode",
         choices=["retain", "reinit"],
@@ -107,12 +125,19 @@ def _runtime_config(
     ns: argparse.Namespace, echo: bool, trace: bool
 ) -> RuntimeConfig:
     """One funnel from parsed CLI flags to a RuntimeConfig."""
+
+    def _monitor_line(line: str) -> None:
+        print(line, file=sys.stderr)
+
     return RuntimeConfig.of(
         workers=ns.workers,
         servers=ns.servers,
         engines=ns.engines,
         echo=echo,
         trace=trace,
+        monitor=ns.monitor,
+        monitor_interval=ns.monitor_interval,
+        monitor_out=_monitor_line if ns.monitor else None,
         interp_mode=ns.interp_mode,
         on_error=ns.on_error,
         max_retries=ns.max_retries,
@@ -219,6 +244,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace JSON path (default: SOURCE with .trace.json suffix)",
     )
 
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="critical-path / stall analysis of a traced run "
+        "(Swift source, or a saved .trace.json)",
+    )
+    p_analyze.add_argument(
+        "source",
+        help="Swift program to run traced, or a Chrome trace JSON "
+        "written by `repro trace` (detected by .json suffix)",
+    )
+    for level in (0, 1, 2):
+        p_analyze.add_argument(
+            "-O%d" % level, dest="opt", action="store_const", const=level
+        )
+    p_analyze.set_defaults(opt=1)
+    _add_runtime_flags(p_analyze)
+    p_analyze.add_argument(
+        "--dot",
+        metavar="PATH",
+        default=None,
+        help="also write the run DAG as Graphviz DOT (critical path in red)",
+    )
+    p_analyze.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the analysis as JSON",
+    )
+
     p_submit = sub.add_parser(
         "submit", help="render a batch submission script"
     )
@@ -296,6 +350,41 @@ def _dispatch(ns: argparse.Namespace) -> int:
             % (out, len(result.trace), result.trace.dropped)
         )
         return 0
+
+    if ns.command == "analyze":
+        from .obs import Analysis, Trace
+
+        if ns.source.endswith(".json"):
+            trace = Trace.from_chrome(ns.source)
+        else:
+            with open(ns.source, "r", encoding="utf-8") as f:
+                source = f.read()
+            rt = SwiftRuntime(
+                opt=ns.opt,
+                config=_runtime_config(ns, echo=False, trace=True),
+            )
+            from .faults import DeadlineExceeded, TaskError
+            from .mpi.launcher import RankFailure
+
+            try:
+                result = rt.run(source)
+            except (RankFailure, TaskError, DeadlineExceeded) as e:
+                print("run failed: %s" % e, file=sys.stderr)
+                return 3
+            trace = result.trace
+        analysis = Analysis.from_trace(trace)
+        print(analysis.render())
+        if ns.dot:
+            with open(ns.dot, "w", encoding="utf-8") as f:
+                f.write(analysis.to_dot() + "\n")
+            print("dot graph written to %s" % ns.dot, file=sys.stderr)
+        if ns.json:
+            import json as _json
+
+            with open(ns.json, "w", encoding="utf-8") as f:
+                _json.dump(analysis.to_json(), f, indent=1)
+            print("analysis JSON written to %s" % ns.json, file=sys.stderr)
+        return 0 if analysis.critical_path else 4
 
     if ns.command == "runtcl":
         with open(ns.program, "r", encoding="utf-8") as f:

@@ -2,8 +2,9 @@
 
 One substrate for every measurement in the repo: a low-overhead
 structured event tracer (:class:`Tracer` -> :class:`Trace`), a metrics
-registry (:class:`Metrics`), and post-run aggregation
-(:class:`Profile`) with a Chrome ``trace_event`` exporter.
+registry (:class:`Metrics`), post-run aggregation (:class:`Profile`),
+causal dataflow analysis (:class:`Analysis`), live run monitoring
+(:class:`RunMonitor`), and a Chrome ``trace_event`` exporter.
 
 Instrumented layers and their event categories:
 
@@ -13,29 +14,45 @@ category   emitted by
 ``mpi``    :mod:`repro.mpi.comm` — send instants (bytes, queue depth),
            recv wait spans
 ``adlb``   :mod:`repro.adlb.server` — put/get/steal instants, data-op
-           instants (store/retrieve/refcount/...)
+           instants (store/retrieve/refcount/...), lease requeues,
+           replica promotions
 ``rule``   :mod:`repro.turbine.engine` — rule create/fire/release,
-           close notifications
-``engine`` :mod:`repro.turbine.engine` — dataflow stall (wait) spans
+           close notifications; ``create`` carries the waited-on TD
+           ids and the registering unit (lineage edges)
+``engine`` :mod:`repro.turbine.engine` — dataflow stall (wait) spans,
+           program/ctask unit spans (``unit``/``ok`` payloads)
 ``task``   :mod:`repro.turbine.worker` — one span per leaf task
+           execution, failed attempts included
+``prov``   provenance instants: ``write`` (client stores: td <- unit),
+           ``task`` (server accepts: uid <- spawning rule/unit),
+           ``grant`` (server hands uid to a client; attempt counter),
+           ``refcount_flush`` (batched decrements <- unit)
+``repl``   :mod:`repro.adlb.server` — op-log flushes with current
+           replication lag
 ``compile``:mod:`repro.core.compiler` — parse/check/codegen phases
 ``run``    :mod:`repro.turbine.runtime` — whole-run span
 ========== =============================================================
 
 Metric counter namespaces beyond the per-category event totals:
 ``adlb.lease.*`` (granted/requeued/expired/dead_ranks/failed_permanent,
-from the server lease table) and ``fault.*`` (kills/task_errors/
-slow_tasks/dropped_msgs/delayed_msgs, from an attached
-:class:`repro.faults.FaultPlan`).  Both appear only on traced runs with
-the corresponding machinery enabled.
+from the server lease table), ``adlb.repl.*`` (batches/entries sent and
+applied, promotions, server deaths, peak ``max_lag``) and ``fault.*``
+(kills/task_errors/slow_tasks/dropped_msgs/delayed_msgs, from an
+attached :class:`repro.faults.FaultPlan`).  All appear only on traced
+runs with the corresponding machinery enabled.
 
 Tracing is off by default and zero-cost when off: call sites test a
 ``tracer is None`` fast path.  Enable with ``swift_run(..., trace=True)``,
 ``RuntimeConfig(trace=True)``, or the ``repro profile`` / ``repro trace``
-CLI subcommands.
+/ ``repro analyze`` CLI subcommands.  Live monitoring
+(``swift_run(..., monitor=True)`` / ``repro run --monitor``) is
+independent of tracing and costs one status dict per server per
+interval.
 """
 
+from .analyze import Analysis, Hop, Unit
 from .metrics import HistogramSummary, Metrics
+from .monitor import MonitorSample, RunMonitor
 from .report import Profile, WorkerUtilization
 from .trace import RANK_DRIVER, CategoryTotal, Trace, TraceEvent, Tracer
 
@@ -48,5 +65,10 @@ __all__ = [
     "HistogramSummary",
     "Profile",
     "WorkerUtilization",
+    "Analysis",
+    "Hop",
+    "Unit",
+    "MonitorSample",
+    "RunMonitor",
     "RANK_DRIVER",
 ]

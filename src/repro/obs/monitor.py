@@ -1,0 +1,100 @@
+"""Live run monitoring.
+
+Servers periodically report a small status dict (tasks matched, queue
+depth, parked clients, lease and replication lag) to the master server,
+which feeds a shared :class:`RunMonitor`.  A driver-side sampler thread
+composes the per-rank statuses into :class:`MonitorSample` rows at a
+fixed cadence; ``repro run --monitor`` renders each sample as a
+one-line progress readout and the full timeline lands on
+``RunResult.timeline``.
+
+Everything here is thread-safe: server ranks (threads in the
+thread-backed world) update concurrently with the driver sampler.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class MonitorSample:
+    """One composed snapshot of run-wide progress."""
+
+    t: float  # seconds since run start
+    tasks: int = 0  # tasks granted so far (all servers)
+    queued: int = 0  # tasks sitting in work queues
+    parked: int = 0  # clients parked waiting for work
+    clients: int = 0  # clients attached across all servers
+    leases: int = 0  # tasks handed out, completion pending
+    repl_lag: int = 0  # op-log entries sent but unacked (max over servers)
+    outstanding: int = -1  # termination-counter units (-1: master not seen)
+    ranks: dict[int, dict] = field(default_factory=dict)
+
+    @property
+    def busy(self) -> int:
+        """Clients not parked — an upper bound on ranks doing work."""
+        return max(0, self.clients - self.parked)
+
+    @property
+    def utilization(self) -> float:
+        return self.busy / self.clients if self.clients else 0.0
+
+    def render(self) -> str:
+        parts = [
+            "t=%6.2fs" % self.t,
+            "tasks=%d" % self.tasks,
+            "queued=%d" % self.queued,
+            "busy=%d/%d" % (self.busy, self.clients),
+            "util=%3.0f%%" % (100.0 * self.utilization),
+        ]
+        if self.leases:
+            parts.append("leases=%d" % self.leases)
+        if self.repl_lag:
+            parts.append("repl_lag=%d" % self.repl_lag)
+        if self.outstanding >= 0:
+            parts.append("outstanding=%d" % self.outstanding)
+        return "[monitor] " + " ".join(parts)
+
+
+class RunMonitor:
+    """Shared sink for server status updates + composed timeline.
+
+    ``update`` is called from server ranks (master directly, others via
+    ``SOP_STATUS`` relayed through the master); ``sample`` is called by
+    the driver's sampler thread.
+    """
+
+    def __init__(self, out: Callable[[str], None] | None = None):
+        self._lock = threading.Lock()
+        self._status: dict[int, dict] = {}
+        self.samples: list[MonitorSample] = []
+        self.out = out
+
+    def update(self, rank: int, status: dict) -> None:
+        with self._lock:
+            self._status[rank] = dict(status)
+
+    def sample(self, t: float) -> MonitorSample:
+        with self._lock:
+            ranks = {r: dict(s) for r, s in self._status.items()}
+        s = MonitorSample(t=t, ranks=ranks)
+        for status in ranks.values():
+            s.tasks += status.get("matched", 0)
+            s.queued += status.get("queued", 0)
+            s.parked += status.get("parked", 0)
+            s.clients += status.get("clients", 0)
+            s.leases += status.get("leases", 0)
+            s.repl_lag = max(s.repl_lag, status.get("repl_lag", 0))
+            if "outstanding" in status:
+                s.outstanding = status["outstanding"]
+        with self._lock:
+            self.samples.append(s)
+        if self.out is not None:
+            self.out(s.render())
+        return s
+
+
+__all__ = ["MonitorSample", "RunMonitor"]

@@ -78,6 +78,9 @@ class Profile:
                 "  (ring buffer wrapped: %d oldest events dropped)"
                 % self.trace.dropped
             )
+        headline = self._critical_path_headline()
+        if headline:
+            lines.append(headline)
         lines.append("")
         lines.append("per-category time:")
         lines.append(
@@ -117,6 +120,28 @@ class Profile:
                 else:
                     lines.append("  %-36s %14d" % (name, int(value)))
         return "\n".join(lines)
+
+    def _critical_path_headline(self) -> str | None:
+        """One-line causal summary when the trace carries provenance
+        events (see :mod:`repro.obs.analyze` for the full report)."""
+        if not any(e.category == "prov" for e in self.trace.events):
+            return None
+        from .analyze import Analysis
+
+        a = Analysis.from_trace(self.trace)
+        if not a.critical_path:
+            return None
+        dominant = max(a.stalls.items(), key=lambda kv: kv[1])
+        return (
+            "critical path: %d hops, %.4fs serial compute floor, "
+            "dominant stall %s (%.1f%%) — see `repro analyze`"
+            % (
+                len(a.critical_path),
+                a.serial_compute,
+                dominant[0],
+                100.0 * dominant[1] / a.makespan if a.makespan else 0.0,
+            )
+        )
 
     def __str__(self) -> str:
         return self.render()

@@ -195,27 +195,18 @@ class Trace:
 
     # ------------------------------------------------------------- export
 
-    def to_chrome(self) -> dict:
-        """Render as a Chrome ``trace_event`` JSON object.
-
-        Load the saved file in ``chrome://tracing`` or https://ui.perfetto.dev.
-        Spans become complete ("X") events, instants become instant
-        ("i") events; rank threads are named from ``meta['roles']``.
-        """
-        trace_events: list[dict] = []
+    def _chrome_records(self):
+        """Yield Chrome ``trace_event`` records one at a time."""
         roles: dict = self.meta.get("roles", {})
-        seen_ranks = sorted({e.rank for e in self.events})
-        for rank in seen_ranks:
+        for rank in sorted({e.rank for e in self.events}):
             role = roles.get(rank, "driver" if rank == RANK_DRIVER else "rank")
-            trace_events.append(
-                {
-                    "ph": "M",
-                    "name": "thread_name",
-                    "pid": 0,
-                    "tid": rank,
-                    "args": {"name": "rank %d (%s)" % (rank, role)},
-                }
-            )
+            yield {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": "rank %d (%s)" % (rank, role)},
+            }
         for e in self.events:
             rec: dict = {
                 "name": e.name,
@@ -232,19 +223,97 @@ class Trace:
                 rec["s"] = "t"
             if e.payload:
                 rec["args"] = dict(e.payload)
-            trace_events.append(rec)
+            yield rec
+
+    def _chrome_other_data(self) -> dict:
         return {
-            "traceEvents": trace_events,
-            "displayTimeUnit": "ms",
-            "otherData": {
-                "dropped_events": self.dropped,
-                "metrics": self.metrics,
-                **{k: v for k, v in self.meta.items() if k != "roles"},
-            },
+            "dropped_events": self.dropped,
+            "metrics": self.metrics,
+            "roles": {str(k): v for k, v in self.meta.get("roles", {}).items()},
+            **{k: v for k, v in self.meta.items() if k != "roles"},
         }
 
-    def save_chrome(self, path: str) -> None:
+    def to_chrome(self) -> dict:
+        """Render as a Chrome ``trace_event`` JSON object.
+
+        Load the saved file in ``chrome://tracing`` or https://ui.perfetto.dev.
+        Spans become complete ("X") events, instants become instant
+        ("i") events; rank threads are named from ``meta['roles']``.
+        Prefer :meth:`write_chrome` for saving: it streams records
+        instead of materializing the whole document.
+        """
+        return {
+            "traceEvents": list(self._chrome_records()),
+            "displayTimeUnit": "ms",
+            "otherData": self._chrome_other_data(),
+        }
+
+    def write_chrome(self, f) -> None:
+        """Stream the Chrome ``trace_event`` JSON to a file object.
+
+        Writes one record at a time, so peak memory is one event
+        instead of the whole serialized document (traces routinely hold
+        hundreds of thousands of events).
+        """
         import json
 
+        f.write('{"traceEvents": [\n')
+        first = True
+        for rec in self._chrome_records():
+            if not first:
+                f.write(",\n")
+            first = False
+            f.write(json.dumps(rec))
+        f.write('\n],\n"displayTimeUnit": "ms",\n"otherData": ')
+        json.dump(self._chrome_other_data(), f)
+        f.write("}\n")
+
+    def save_chrome(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as f:
-            json.dump(self.to_chrome(), f, indent=1)
+            self.write_chrome(f)
+
+    @classmethod
+    def from_chrome(cls, path_or_dict) -> "Trace":
+        """Rebuild a Trace from a saved Chrome ``trace_event`` JSON.
+
+        Inverse of :meth:`write_chrome` (modulo event order); lets
+        ``repro analyze`` work on a saved ``.trace.json`` without
+        re-running the program.
+        """
+        import json
+
+        if isinstance(path_or_dict, dict):
+            doc = path_or_dict
+        else:
+            with open(path_or_dict, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        events: list[TraceEvent] = []
+        for rec in doc.get("traceEvents", ()):
+            ph = rec.get("ph")
+            if ph not in ("X", "i"):
+                continue
+            events.append(
+                TraceEvent(
+                    t=rec.get("ts", 0.0) / 1e6,
+                    dur=rec.get("dur", 0.0) / 1e6 if ph == "X" else 0.0,
+                    rank=rec.get("tid", 0),
+                    category=rec.get("cat", ""),
+                    name=rec.get("name", ""),
+                    payload=rec.get("args"),
+                )
+            )
+        events.sort(key=lambda e: e.t)
+        other = doc.get("otherData", {})
+        meta = {
+            k: v
+            for k, v in other.items()
+            if k not in ("dropped_events", "metrics", "roles")
+        }
+        if "roles" in other:
+            meta["roles"] = {int(k): v for k, v in other["roles"].items()}
+        return cls(
+            events=events,
+            metrics=other.get("metrics", {}),
+            meta=meta,
+            dropped=other.get("dropped_events", 0),
+        )

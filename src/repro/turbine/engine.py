@@ -64,6 +64,9 @@ class Engine:
         self.faults = faults
         self.failures: list[TaskFailure] = []
         self._seq = itertools.count(1)
+        # Provenance unit ids for control tasks run on this engine
+        # ("C<rank>.<n>"); counts executions, including retries.
+        self._unit_seq = itertools.count(1)
         self.ready: deque[Rule] = deque()
         # td id -> rules blocked on it
         self.blocked: dict[int, list[Rule]] = {}
@@ -97,11 +100,19 @@ class Engine:
         )
         self.stats.rules_created += 1
         if self.tracer is not None:
+            # Lineage: which TDs this rule waits on, and which unit of
+            # work registered it (the spawn edge of the run DAG).
             self.tracer.instant(
                 self.client.rank,
                 "rule",
                 "create",
-                {"id": rule.id, "type": rtype, "name": name},
+                {
+                    "id": rule.id,
+                    "type": rtype,
+                    "name": name,
+                    "inputs": sorted(set(inputs)),
+                    "by": self.client.prov_unit,
+                },
             )
         for td in set(inputs):
             if td in self.closed:
@@ -204,6 +215,12 @@ class Engine:
                     if tracer is None:
                         self.interp.eval(rule.action)
                     else:
+                        # Stores and rule creations inside the fire are
+                        # attributed to this rule's unit id.
+                        self.client.prov_unit = "R%d.%d" % (
+                            self.client.rank,
+                            rule.id,
+                        )
                         t0 = tracer.now()
                         self.interp.eval(rule.action)
                         tracer.complete(
@@ -243,6 +260,9 @@ class Engine:
                     type=rule.type,
                     priority=rule.priority,
                     target=rule.target,
+                    prov="R%d.%d" % (self.client.rank, rule.id)
+                    if tracer is not None
+                    else None,
                 )
 
     def _unit_error(
@@ -318,11 +338,31 @@ class Engine:
                 if tracer is None:
                     self.interp.eval(initial_script)
                 else:
-                    with tracer.span(rank, "engine", "program"):
-                        self.interp.eval(initial_script)
+                    self.client.prov_unit = "P%d" % rank
+                    t0 = tracer.now()
+                    self.interp.eval(initial_script)
+                    tracer.complete(
+                        rank,
+                        "engine",
+                        "program",
+                        t0,
+                        payload={"unit": "P%d" % rank, "ok": True},
+                    )
             except (AbortError, DeadlockError):
                 raise
             except Exception as e:  # program failure
+                if tracer is not None:
+                    tracer.complete(
+                        rank,
+                        "engine",
+                        "program",
+                        t0,
+                        payload={
+                            "unit": "P%d" % rank,
+                            "ok": False,
+                            "error": type(e).__name__,
+                        },
+                    )
                 # The initial program cannot be retried (its partial
                 # effects are live); continue records and drains
                 # whatever dataflow it did set up.
@@ -354,19 +394,42 @@ class Engine:
                     directive = self.faults.on_task(rank, msg[2])
                     if directive is not None and directive[0] == "kill":
                         raise RankKilled(rank, directive[1])
+                unit = None
+                if tracer is not None:
+                    unit = "C%d.%d" % (rank, next(self._unit_seq))
+                    self.client.prov_unit = unit
+                    t0 = tracer.now()
                 try:
                     if directive is not None:
                         if directive[0] == "raise":
                             raise InjectedFault(directive[1])
                         time.sleep(directive[1])
-                    if tracer is None:
-                        self.interp.eval(msg[2])
-                    else:
-                        with tracer.span(rank, "engine", "ctask"):
-                            self.interp.eval(msg[2])
+                    self.interp.eval(msg[2])
+                    if tracer is not None:
+                        tracer.complete(
+                            rank,
+                            "engine",
+                            "ctask",
+                            t0,
+                            payload={"unit": unit, "ok": True},
+                        )
                 except (AbortError, DeadlockError):
                     raise
                 except Exception as e:  # control-task failure
+                    if tracer is not None:
+                        # Failed attempts keep their span so grant
+                        # instants stay aligned 1:1 with unit spans.
+                        tracer.complete(
+                            rank,
+                            "engine",
+                            "ctask",
+                            t0,
+                            payload={
+                                "unit": unit,
+                                "ok": False,
+                                "error": type(e).__name__,
+                            },
+                        )
                     # Leased like worker tasks, so retry hands the unit
                     # back to the server; either way the engine re-parks
                     # and keeps serving its registered rules.

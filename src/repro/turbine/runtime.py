@@ -59,6 +59,14 @@ class RuntimeConfig:
     tracer: Any | None = field(default=None, repr=False, compare=False)
     trace_capacity: int = 1 << 16
     echo: bool = False  # also print program output to real stdout
+    # Live monitoring: servers piggyback per-rank status on heartbeats
+    # to the master; a driver-side sampler composes MonitorSample rows
+    # on RunResult.timeline every monitor_interval seconds.
+    monitor: bool = False
+    monitor_interval: float = 0.25
+    # Callable fed one rendered line per sample (the CLI passes print);
+    # None keeps monitoring silent (timeline only).
+    monitor_out: Any | None = field(default=None, repr=False, compare=False)
     recv_timeout: float = 120.0
     # Interpreter state policy for embedded Python/R interpreters
     # (paper §III-C): "retain" keeps state across tasks, "reinit"
@@ -204,6 +212,8 @@ class RunResult:
     worker_stats: list[WorkerStats] = field(default_factory=list)
     # Populated when the run was traced (trace=True / a session tracer).
     trace: Any | None = None
+    # MonitorSample rows from a monitor=True run (chronological).
+    timeline: list = field(default_factory=list)
     # Units of work that failed permanently but did not abort the run
     # (on_error="continue", or retries exhausted on a dead rank).
     failures: list[TaskFailure] = field(default_factory=list)
@@ -248,6 +258,7 @@ def make_client_interp(
     setup: SetupFn | None,
     server_map: Any | None = None,
     reliable: bool = False,
+    tracer: Any | None = None,
 ) -> tuple[Interp, AdlbClient]:
     """Build the Tcl interpreter for an engine or worker rank."""
     config = ctx.config
@@ -258,6 +269,7 @@ def make_client_interp(
         batch_refcounts=config.batch_refcounts,
         server_map=server_map,
         reliable=reliable,
+        tracer=tracer,
     )
     interp = Interp(compile_enabled=config.tcl_compile)
     interp.echo = False
@@ -346,6 +358,11 @@ def run_turbine_program(
         plan = restore_plan(read_checkpoint(config.restore), layout)
         restore_shards = plan["server_shards"]
         restore_rules = plan["engine_rules"]
+    monitor = None
+    if config.monitor:
+        from ..obs.monitor import RunMonitor
+
+        monitor = RunMonitor(out=config.monitor_out)
     output = Output(echo=config.echo, trace=config.trace)
     server_stats: list[ServerStats] = []
     engine_stats: list[EngineStats] = []
@@ -389,6 +406,8 @@ def run_turbine_program(
                 checkpoint_path=config.checkpoint_path,
                 checkpoint_interval=config.checkpoint_interval,
                 restore_shard=restore_shards.get(rank),
+                monitor=monitor if rank == layout.master_server else None,
+                status_interval=config.monitor_interval if monitor else None,
             )
             try:
                 stats = server.run()
@@ -415,7 +434,7 @@ def run_turbine_program(
                 faults=faults,
             )
             interp, client = make_client_interp(
-                comm, layout, ctx, engine, setup, server_map, reliable
+                comm, layout, ctx, engine, setup, server_map, reliable, tracer
             )
             interp.eval(program)
             # On restore the dataflow state comes from the checkpoint's
@@ -435,7 +454,7 @@ def run_turbine_program(
             return
         # worker
         interp, client = make_client_interp(
-            comm, layout, ctx, None, setup, server_map, reliable
+            comm, layout, ctx, None, setup, server_map, reliable, tracer
         )
         interp.eval(program)
         worker = Worker(
@@ -457,6 +476,20 @@ def run_turbine_program(
 
     rank_labels = [layout.role(r) for r in range(config.size)]
     t0 = time.perf_counter()
+    sampler_stop = None
+    if monitor is not None:
+        # Driver-side sampler: composes whatever statuses the master
+        # has relayed so far into one MonitorSample per interval.
+        sampler_stop = threading.Event()
+
+        def _sampler() -> None:
+            while not sampler_stop.wait(config.monitor_interval):
+                monitor.sample(time.perf_counter() - t0)
+
+        sampler = threading.Thread(
+            target=_sampler, name="repro-monitor", daemon=True
+        )
+        sampler.start()
     try:
         run_world(
             config.size,
@@ -476,6 +509,12 @@ def run_turbine_program(
             if isinstance(exc, (TaskError, ServerLost)):
                 raise exc from None
         raise
+    finally:
+        if sampler_stop is not None:
+            sampler_stop.set()
+            sampler.join(timeout=2.0)
+            # One final sample so short runs still land a timeline row.
+            monitor.sample(time.perf_counter() - t0)
     elapsed = time.perf_counter() - t0
     trace = None
     if tracer is not None:
@@ -504,5 +543,6 @@ def run_turbine_program(
         engine_stats=engine_stats,
         worker_stats=worker_stats,
         trace=trace,
+        timeline=monitor.samples if monitor is not None else [],
         failures=sorted(failures, key=lambda f: f.rank),
     )

@@ -52,6 +52,9 @@ class Worker:
         self.retries_enabled = retries_enabled
         self.faults = faults
         self.failures: list[TaskFailure] = []
+        # Provenance unit ids for tasks run on this worker
+        # ("T<rank>.<n>"); counts executions, including retries.
+        self._unit_seq = 0
 
     def serve(self) -> WorkerStats:
         tracer = self.tracer
@@ -65,6 +68,11 @@ class Worker:
                     fold_cache_stats(tracer, self.client, self.interp, rank)
                 return self.stats
             _, payload = got
+            unit = None
+            if tracer is not None:
+                self._unit_seq += 1
+                unit = "T%d.%d" % (rank, self._unit_seq)
+                self.client.prov_unit = unit
             directive = None
             if faults is not None:
                 directive = faults.on_task(rank, payload)
@@ -84,6 +92,21 @@ class Worker:
                 # failures: never retried or recorded, always fatal.
                 raise
             except Exception as e:  # task failure — rank stays up
+                if tracer is not None:
+                    # Failed attempts keep their span so grant instants
+                    # stay aligned 1:1 with unit spans on this rank.
+                    tracer.complete(
+                        rank,
+                        "task",
+                        "task",
+                        t0,
+                        payload={
+                            "bytes": len(payload),
+                            "unit": unit,
+                            "ok": False,
+                            "error": type(e).__name__,
+                        },
+                    )
                 self._task_error(rank, payload, e)
                 continue
             t1 = time.perf_counter()
@@ -91,7 +114,12 @@ class Worker:
             self.stats.busy_time += t1 - t0
             if tracer is not None:
                 tracer.complete(
-                    rank, "task", "task", t0, t1, {"bytes": len(payload)}
+                    rank,
+                    "task",
+                    "task",
+                    t0,
+                    t1,
+                    {"bytes": len(payload), "unit": unit, "ok": True},
                 )
             # Deferred refcount decrements must land before the task's
             # accounting unit: a batched write-decrement can close TDs

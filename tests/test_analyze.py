@@ -1,0 +1,212 @@
+"""Causal dataflow analysis: provenance capture, critical path, and
+live monitoring (repro.obs.analyze / repro.obs.monitor)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import swift_run
+from repro.faults import FaultPlan
+from repro.obs import Analysis, Trace
+
+DIAMOND = """
+import io;
+main {
+    string a = python("import time; time.sleep(0.02); x = 10", "x");
+    string b = python(strcat("import time; time.sleep(0.03); b = 1 + ", a), "b");
+    string c = python(strcat("c = 2 + ", a), "c");
+    string d = python(strcat("d = ", b, " + ", c), "d");
+    printf("d=%s", d);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def diamond_result():
+    return swift_run(DIAMOND, workers=4, servers=2, engines=2, trace=True)
+
+
+@pytest.fixture(scope="module")
+def diamond_analysis(diamond_result):
+    return Analysis.from_trace(diamond_result.trace)
+
+
+class TestProvenanceCapture:
+    def test_units_linked_to_rules(self, diamond_analysis):
+        a = diamond_analysis
+        tasks = [u for u in a.units.values() if u.kind == "task"]
+        assert len(tasks) == 4  # the four python() calls
+        for u in tasks:
+            assert u.uid is not None and u.uid >= 0
+            assert u.rule is not None and u.rule.startswith("R")
+            assert u.rule in a.rules
+            assert u.t_grant is not None and u.t_grant <= u.start
+
+    def test_rule_lineage(self, diamond_analysis):
+        a = diamond_analysis
+        # Every rule records its registering unit and waited-on TDs;
+        # the diamond rules were all registered by the program unit.
+        work_rules = [r for r in a.rules.values() if r.type == "WORK"]
+        assert len(work_rules) == 4
+        for r in work_rules:
+            assert r.by == "P0"
+            assert r.t_release is not None
+        # b and c both wait on a TD written by task a.
+        writers = {
+            td: max(ws, key=lambda w: w[0])[1] for td, ws in a.writes.items()
+        }
+        a_task = next(
+            u for u in a.units.values() if u.rule == work_rules[0].id
+        )
+        assert any(w == a_task.id for w in writers.values())
+
+    def test_writes_attributed_to_units(self, diamond_analysis):
+        a = diamond_analysis
+        unit_ids = set(a.units)
+        attributed = [
+            unit
+            for ws in a.writes.values()
+            for _, unit in ws
+            if unit is not None
+        ]
+        assert attributed
+        # Every attributed write names a unit the analyzer knows.
+        assert set(attributed) <= unit_ids
+
+
+class TestCriticalPath:
+    def test_hops_tile_makespan(self, diamond_analysis):
+        a = diamond_analysis
+        assert a.critical_path
+        path_total = sum(h.total for h in a.critical_path)
+        # Acceptance bound is 10%; the tiling construction is exact.
+        assert path_total == pytest.approx(a.makespan, rel=0.10)
+        for hop in a.critical_path:
+            assert sum(hop.segments.values()) == pytest.approx(hop.total)
+            assert all(v >= 0 for v in hop.segments.values())
+
+    def test_path_takes_slow_branch(self, diamond_analysis):
+        a = diamond_analysis
+        # The 0.03s sleep (branch b) dominates the diamond: the longest
+        # compute hop on the path must be ~0.03s, not the 0.002s of c.
+        computes = sorted(
+            h.segments["compute"] for h in a.critical_path
+        )
+        assert computes[-1] >= 0.025
+        # The path starts at the program unit and is causally chained.
+        assert a.critical_path[0].kind == "program"
+        assert not a.incomplete
+        for prev, cur in zip(a.critical_path, a.critical_path[1:]):
+            assert cur.pred == prev.unit
+
+    def test_stall_attribution_and_what_if(self, diamond_analysis):
+        a = diamond_analysis
+        assert a.serial_compute > 0.05  # both sleeps are serial
+        assert a.serial_compute <= a.makespan + 1e-9
+        assert sum(a.stalls.values()) == pytest.approx(
+            sum(h.total for h in a.critical_path)
+        )
+
+    def test_utilization_and_concurrency(self, diamond_analysis):
+        a = diamond_analysis
+        assert a.busy_by_rank
+        assert 0 < a.avg_concurrency
+        assert a.peak_concurrency >= 2  # b and c overlap
+        assert all(b > 0 for b in a.busy_by_rank.values())
+
+    def test_render_and_exports(self, diamond_analysis, tmp_path):
+        text = diamond_analysis.render()
+        assert "critical path:" in text
+        assert "what-if:" in text
+        dot = diamond_analysis.to_dot()
+        assert dot.startswith("digraph") and "color=red" in dot
+        doc = diamond_analysis.to_json()
+        json.dumps(doc)  # must be serializable
+        assert doc["critical_path"] and doc["makespan"] > 0
+
+
+class TestTraceRoundTrip:
+    def test_from_chrome_preserves_analysis(self, diamond_result, tmp_path):
+        path = tmp_path / "d.trace.json"
+        diamond_result.trace.save_chrome(str(path))
+        loaded = Trace.from_chrome(str(path))
+        a0 = Analysis.from_trace(diamond_result.trace)
+        a1 = Analysis.from_trace(loaded)
+        assert set(a1.units) == set(a0.units)
+        assert [h.unit for h in a1.critical_path] == [
+            h.unit for h in a0.critical_path
+        ]
+        assert a1.makespan == pytest.approx(a0.makespan, rel=1e-6)
+        # Streamed export round-trips meta the analyzer cares about.
+        assert loaded.meta.get("roles") == diamond_result.trace.meta.get(
+            "roles"
+        )
+
+
+class TestRetryLineage:
+    def test_retried_attempt_chains_to_original(self):
+        plan = FaultPlan(seed=3).fail_task("task:python", times=1)
+        r = swift_run(
+            'import io; main { string a = python("x = 41 + 1", "x");'
+            ' printf("a=%s", a); }',
+            workers=2,
+            servers=2,
+            engines=1,
+            trace=True,
+            faults=plan,
+            on_error="retry",
+            max_retries=3,
+        )
+        assert r.stdout_lines == ["a=42"]
+        a = Analysis.from_trace(r.trace)
+        # Both attempts executed under the same uid, in order.
+        assert len(a.retries) == 1
+        chain = a.retries[0]
+        assert len(chain) == 2
+        first, second = a.units[chain[0]], a.units[chain[1]]
+        assert first.uid == second.uid
+        assert not first.ok and second.ok
+        assert first.attempts == 0 and second.attempts == 1
+        # The walk routes through the retry chain: the retried unit's
+        # predecessor is the failed attempt, not the input data.
+        hops = {h.unit: h for h in a.critical_path}
+        assert hops[second.id].pred == first.id
+
+
+class TestMonitor:
+    def test_timeline_present_on_monitor_run(self):
+        r = swift_run(
+            DIAMOND,
+            workers=4,
+            servers=2,
+            engines=2,
+            monitor=True,
+            monitor_interval=0.02,
+        )
+        assert r.stdout_lines == ["d=23"]
+        assert r.timeline
+        final = r.timeline[-1]
+        assert final.tasks >= 4  # the four python() tasks were granted
+        assert final.clients == 6  # 4 workers + 2 engines
+        assert final.t > 0
+        line = final.render()
+        assert line.startswith("[monitor]") and "tasks=" in line
+
+    def test_monitor_out_receives_lines(self):
+        lines: list[str] = []
+        swift_run(
+            'import io; main { printf("hi"); }',
+            workers=2,
+            servers=1,
+            engines=1,
+            monitor=True,
+            monitor_interval=0.01,
+            monitor_out=lines.append,
+        )
+        assert lines and all(line.startswith("[monitor]") for line in lines)
+
+    def test_no_timeline_without_monitor(self):
+        r = swift_run('import io; main { printf("hi"); }', workers=2)
+        assert r.timeline == []
