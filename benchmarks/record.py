@@ -26,6 +26,7 @@ from bench_hotpath import (  # noqa: E402
     EXPR_PRELUDE,
     PROC_CALL,
     PROC_PRELUDE,
+    measure_dataflow,
     measure_end_to_end,
     measure_tcl,
 )
@@ -40,6 +41,7 @@ def main() -> None:
         "tcl_proc_dispatch": measure_tcl(PROC_PRELUDE, PROC_CALL),
         "tcl_expr_loop": measure_tcl(EXPR_PRELUDE, EXPR_CALL),
         "end_to_end": measure_end_to_end(rounds=5),
+        "dataflow_fanout": measure_dataflow(rounds=5),
         "bench_faults_overhead": measure_faults_overhead(rounds=5),
         "bench_replication_overhead": measure_replication_overhead(rounds=5),
         "bench_obs_overhead": measure_obs_overhead(rounds=5),
@@ -47,6 +49,17 @@ def main() -> None:
     OUT.write_text(json.dumps(results, indent=2) + "\n")
     for name in ("tcl_proc_dispatch", "tcl_expr_loop", "end_to_end"):
         print("%-18s %.2fx" % (name, results[name]["speedup"]))
+    print(
+        "%-18s %.2fx" % (
+            "e2e_vm_vs_ast",
+            results["end_to_end"]["speedup_vm_vs_ast"],
+        )
+    )
+    print(
+        "%-18s %.2fx" % (
+            "dataflow_fanout", results["dataflow_fanout"]["speedup"]
+        )
+    )
     print(
         "%-18s %.2fx" % (
             "faults_overhead",

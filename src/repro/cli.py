@@ -67,6 +67,13 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
         help="embedded interpreter state policy (paper III-C)",
     )
     p.add_argument(
+        "--tcl-exec",
+        choices=["vm", "ast"],
+        default="vm",
+        help="Tcl execution backend: bytecode VM (default) or compiled-AST "
+        "interpretation",
+    )
+    p.add_argument(
         "--on-error",
         choices=["retry", "fail_fast", "continue"],
         default="retry",
@@ -139,6 +146,7 @@ def _runtime_config(
         monitor_interval=ns.monitor_interval,
         monitor_out=_monitor_line if ns.monitor else None,
         interp_mode=ns.interp_mode,
+        tcl_exec=ns.tcl_exec,
         on_error=ns.on_error,
         max_retries=ns.max_retries,
         deadline=ns.deadline,
@@ -273,6 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the analysis as JSON",
     )
 
+    p_disasm = sub.add_parser(
+        "disasm",
+        help="disassemble a Tcl script's bytecode (and top-level procs)",
+    )
+    p_disasm.add_argument("source", help="a .tcl/.tic file to disassemble")
+
     p_submit = sub.add_parser(
         "submit", help="render a batch submission script"
     )
@@ -402,6 +416,11 @@ def _dispatch(ns: argparse.Namespace) -> int:
             print(result.profile.render(), file=sys.stderr)
         return _report_failures(result)
 
+    if ns.command == "disasm":
+        with open(ns.source, "r", encoding="utf-8") as f:
+            script = f.read()
+        return _disasm(script, ns.source)
+
     if ns.command == "submit":
         spec = JobSpec(
             name=ns.name or ns.source.rsplit("/", 1)[-1].split(".")[0],
@@ -415,6 +434,37 @@ def _dispatch(ns: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError("unhandled command %r" % ns.command)
+
+
+def _disasm(script: str, name: str) -> int:
+    """Print the bytecode for a Tcl script and its top-level procs."""
+    from .tcl.compile import compile_script_code
+    from .tcl.interp import Interp
+    from .tcl.parser import parse_script
+    from .tcl.vm import proc_code
+
+    interp = Interp()
+    code = compile_script_code(interp, script, name=name)
+    print(code.dis())
+    # Disassemble bodies of top-level literal `proc` definitions: run
+    # just those commands so TclProc objects exist, then compile each.
+    define = interp.lookup_command("proc")
+    for cmd in parse_script(script):
+        words = [w.literal for w in cmd.words]
+        if (
+            len(words) == 4
+            and words[0] == "proc"
+            and all(w is not None for w in words)
+        ):
+            define(interp, words[1:])
+            proc = interp.lookup_command(words[1])
+            pcode = proc_code(interp, proc)
+            print()
+            if pcode is None:
+                print("proc %s: body not bytecode-compilable" % words[1])
+            else:
+                print(pcode.dis())
+    return 0
 
 
 def _default_output(source_path: str) -> str:

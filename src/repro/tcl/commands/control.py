@@ -26,6 +26,10 @@ def cmd_expr(interp, args):
 # `expr {literal}` command whose resolved fn carries this flag
 # evaluates a precompiled AST directly (see Interp._run_compiled).
 cmd_expr.expr_builtin = True  # type: ignore[attr-defined]
+# vm_builtin tags let the bytecode compiler inline a construct; the
+# VM's GUARD op re-checks the tag under cmd_epoch so redefining the
+# command (e.g. a test stubbing `if`) reroutes to the generic path.
+cmd_expr.vm_builtin = "expr"  # type: ignore[attr-defined]
 
 
 def cmd_if(interp, args):
@@ -57,6 +61,9 @@ def cmd_if(interp, args):
     return ""
 
 
+cmd_if.vm_builtin = "if"  # type: ignore[attr-defined]
+
+
 def cmd_while(interp, args):
     if len(args) != 2:
         raise _wrong_args("while test command")
@@ -82,6 +89,9 @@ def cmd_while(interp, args):
         except TclContinue:
             continue
     return ""
+
+
+cmd_while.vm_builtin = "while"  # type: ignore[attr-defined]
 
 
 def cmd_for(interp, args):
@@ -111,6 +121,9 @@ def cmd_for(interp, args):
             pass
         interp.eval_compiled(next_code)
     return ""
+
+
+cmd_for.vm_builtin = "for"  # type: ignore[attr-defined]
 
 
 def cmd_foreach(interp, args):
@@ -299,14 +312,21 @@ def cmd_return(interp, args):
 # bodies ending in `return ?value?` skip the TclReturn exception only
 # while `return` still resolves to this function.
 cmd_return.return_builtin = True  # type: ignore[attr-defined]
+cmd_return.vm_builtin = "return"  # type: ignore[attr-defined]
 
 
 def cmd_break(interp, args):
     raise TclBreak()
 
 
+cmd_break.vm_builtin = "break"  # type: ignore[attr-defined]
+
+
 def cmd_continue(interp, args):
     raise TclContinue()
+
+
+cmd_continue.vm_builtin = "continue"  # type: ignore[attr-defined]
 
 
 def cmd_time(interp, args):

@@ -19,6 +19,11 @@ def cmd_set(interp, args):
     raise _wrong_args("set varName ?newValue?")
 
 
+# vm_builtin: the bytecode compiler inlines this construct behind an
+# epoch-checked GUARD (see repro.tcl.compile / repro.tcl.vm).
+cmd_set.vm_builtin = "set"  # type: ignore[attr-defined]
+
+
 def cmd_unset(interp, args):
     i = 0
     nocomplain = False
@@ -53,6 +58,9 @@ def cmd_incr(interp, args):
     else:
         cur = 0
     return interp.set_var(name, str(cur + delta))
+
+
+cmd_incr.vm_builtin = "incr"  # type: ignore[attr-defined]
 
 
 def cmd_append(interp, args):

@@ -510,6 +510,16 @@ def eval_node(interp, node: tuple) -> Any:
     return _eval_node(interp, node)
 
 
+def eval_unary(op: str, v: Any) -> Any:
+    """Apply a unary expr operator (shared by the AST walker and the VM)."""
+    if op == "!":
+        return 0 if truthy(v) else 1
+    if op == "~":
+        return ~_need_int(v, op)
+    x = _need_num(v, op)
+    return -x if op == "-" else +x
+
+
 def _eval_node(interp, node: tuple) -> Any:
     # Branch order tracks hot-path frequency: operands ($var, literals)
     # and binary operators dominate compiled rule/loop conditions.
@@ -536,14 +546,7 @@ def _eval_node(interp, node: tuple) -> Any:
     if kind == "cmdsub":
         return coerce(interp.eval(node[1]))
     if kind == "un":
-        op = node[1]
-        v = _eval_node(interp, node[2])
-        if op == "!":
-            return 0 if truthy(v) else 1
-        if op == "~":
-            return ~_need_int(v, op)
-        x = _need_num(v, op)
-        return -x if op == "-" else +x
+        return eval_unary(node[1], _eval_node(interp, node[2]))
     if kind == "tern":
         if truthy(_eval_node(interp, node[1])):
             return _eval_node(interp, node[2])

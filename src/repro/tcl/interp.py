@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..lru import LRUCache
+from .bytecode import VMStats
 from .errors import TclBreak, TclContinue, TclError, TclReturn
 from .expr import compile_expr, eval_node, to_string
 from .listutil import format_list, parse_list
@@ -149,6 +150,21 @@ class CompiledCommand:
 
 CompiledScript = list[CompiledCommand]
 
+# Builtins that evaluate a script argument through the AST-walk
+# internals (``compiled``/``eval_compiled``).  The VM's single-command
+# fast path must not dispatch these directly, or a top-level
+# ``for``/``while``/... would run its body on the AST walk instead of
+# the bytecode the VM inlines for it.  Name-based on purpose: if a user
+# rebinds one of these names the script just takes the (semantically
+# identical) full bytecode path.
+_SCRIPT_BUILTINS = frozenset(
+    (
+        "if", "while", "for", "foreach", "switch", "eval", "catch",
+        "time", "subst", "dict", "lmap", "namespace", "source",
+        "uplevel", "apply", "try",
+    )
+)
+
 
 class Var:
     """A variable cell, shared between frames by upvar/global links."""
@@ -168,12 +184,17 @@ class Namespace:
 
 
 class Frame:
-    __slots__ = ("vars", "ns", "label")
+    __slots__ = ("vars", "ns", "label", "version")
 
     def __init__(self, ns: Namespace, label: str = "<frame>"):
         self.vars: dict[str, Var] = {}
         self.ns = ns
         self.label = label
+        # Bumped whenever a var *cell* is replaced or removed (unset,
+        # upvar/global/variable links) so the VM's local-slot cell cache
+        # can invalidate.  Plain creation never bumps: the VM caches
+        # cells lazily and re-probes the dict on a miss.
+        self.version = 0
 
 
 class TclProc:
@@ -183,6 +204,7 @@ class TclProc:
         "name", "params", "body", "ns",
         "_code", "_code_interp", "_names", "_simple",
         "_tail", "_tail_prefix", "_tail_epoch", "_tail_ok",
+        "_vm_code", "_vm_code_interp",
     )
 
     def __init__(
@@ -213,6 +235,10 @@ class TclProc:
         self._tail_prefix: CompiledScript | None = None
         self._tail_epoch = -1
         self._tail_ok = False
+        # Bytecode slot: the body lowered for one interp's VM; False
+        # marks a body the compiler declined (kept on the AST path).
+        self._vm_code: Any = None
+        self._vm_code_interp: "Interp" | None = None
 
     def _analyze_tail(self, code: CompiledScript) -> None:
         """Detect a body ending in ``return`` / ``return <word>``.
@@ -243,6 +269,15 @@ class TclProc:
             self._tail_prefix = code[:-1]
 
     def __call__(self, interp: "Interp", argv: list[str]) -> str:
+        if interp.exec_vm:
+            vcode = self._vm_code
+            if vcode is None or self._vm_code_interp is not interp:
+                vcode = interp._vm_proc_code(interp, self)
+            elif vcode is False:
+                vcode = None
+            if vcode is not None:
+                return interp._vm_call_proc(interp, self, vcode, argv)
+            # Body the bytecode compiler declined: AST path below.
         frame = Frame(self.ns, label=self.name)
         params = self.params
         if self._simple and len(argv) == len(params):
@@ -324,11 +359,30 @@ class Interp:
     """
 
     MAX_DEPTH = 900
+    # VM mode: Tcl proc calls stay inside one dispatch loop, so only
+    # nested *evaluations* (eval/catch/uplevel and AST fallbacks)
+    # consume Python stack — a much lower eval-depth budget fits under
+    # CPython's default recursion limit with no setrecursionlimit bump.
+    VM_MAX_DEPTH = 128
+    # VM frame-depth limit: Tcl proc recursion depth before the VM
+    # raises a catchable TclError (replaces RecursionError entirely).
+    FRAME_LIMIT = 4000
 
-    def __init__(self, register_core: bool = True, compile_enabled: bool = True):
-        # A Tcl evaluation level costs ~12 Python frames; make room for
-        # the interpreter's own MAX_DEPTH guard to fire before CPython's.
-        sys.setrecursionlimit(max(sys.getrecursionlimit(), 20_000))
+    def __init__(
+        self,
+        register_core: bool = True,
+        compile_enabled: bool = True,
+        exec_mode: str = "vm",
+    ):
+        if exec_mode not in ("vm", "ast"):
+            raise ValueError("exec_mode must be 'vm' or 'ast'")
+        self.exec_vm = bool(compile_enabled) and exec_mode == "vm"
+        if not self.exec_vm:
+            # A Tcl evaluation level costs ~12 Python frames; make room
+            # for the MAX_DEPTH guard to fire before CPython's.
+            sys.setrecursionlimit(max(sys.getrecursionlimit(), 20_000))
+        else:
+            self.MAX_DEPTH = self.VM_MAX_DEPTH
         self.global_ns = Namespace("")
         self.namespaces: dict[str, Namespace] = {"": self.global_ns}
         self.commands: dict[str, CommandFn] = {}
@@ -355,6 +409,17 @@ class Interp:
         self.cmd_epoch = 0
         self._code_cache: LRUCache[str, CompiledScript] = LRUCache(4096)
         self.cache_stats = InterpCacheStats()
+        # --- bytecode VM ---------------------------------------------------
+        self.vm_stats = VMStats()
+        if self.exec_vm:
+            from . import vm as _vm
+            from .compile import compile_script_code as _vm_compile
+
+            self._vm_run_script = _vm.run_script
+            self._vm_call_proc = _vm.call_proc
+            self._vm_proc_code = _vm.proc_code
+            self._vm_compile_script = _vm_compile
+            self._vm_code_cache: LRUCache[str, Any] = LRUCache(2048)
         if register_core:
             from .commands import register_all
 
@@ -434,6 +499,7 @@ class Interp:
         if name not in frame.vars:
             raise TclError('can\'t unset "%s": no such variable' % name)
         del frame.vars[name]
+        frame.version += 1  # invalidate VM slot-cell caches
 
     def var_exists(self, name: str) -> bool:
         return self._var_cell(name, create=False) is not None
@@ -444,14 +510,18 @@ class Interp:
         if cell is None:
             cell = Var()
             target_frame.vars[target_name] = cell
-        self.frames[-1].vars[local_name] = cell
+        frame = self.frames[-1]
+        frame.vars[local_name] = cell
+        frame.version += 1  # the local name now aliases a foreign cell
 
     def link_ns_var(self, local_name: str, ns: Namespace, target_name: str) -> None:
         cell = ns.vars.get(target_name)
         if cell is None:
             cell = Var()
             ns.vars[target_name] = cell
-        self.frames[-1].vars[local_name] = cell
+        frame = self.frames[-1]
+        frame.vars[local_name] = cell
+        frame.version += 1
 
     # -- namespaces ---------------------------------------------------------
 
@@ -492,6 +562,22 @@ class Interp:
 
     def eval(self, script: str) -> str:
         """Evaluate a script; returns the result of its last command."""
+        if self.exec_vm:
+            if self._depth >= self.MAX_DEPTH:
+                raise TclError("too many nested evaluations (infinite loop?)")
+            self._depth += 1
+            try:
+                code = self.vm_compiled(script)
+                if type(code) is CompiledCommand:
+                    # Single literal command (the shape of every
+                    # dataflow rule action): dispatch straight through
+                    # the shared per-command path — no script Code
+                    # object, no root VM frame.  Proc bodies still run
+                    # on the VM via TclProc.__call__.
+                    return self._run_compiled(code)
+                return self._vm_run_script(self, code)
+            finally:
+                self._depth -= 1
         if self.compile_enabled:
             return self.eval_compiled(self.compiled(script))
         # Interpreted fallback (compile_enabled=False): walk the parsed
@@ -510,6 +596,42 @@ class Interp:
             return result
         finally:
             self._depth -= 1
+
+    def vm_compiled(self, script: str):
+        """Fetch (or lower) the bytecode form of a script, LRU-cached.
+
+        Mirrors :meth:`compiled`; hit/miss totals feed both the shared
+        ``tcl.compile.*`` counters and the VM's own ``tcl.vm.code_*``.
+        """
+        code = self._vm_code_cache.get(script)
+        if code is None:
+            code = self._vm_lower(script)
+            self._vm_code_cache.put(script, code)
+            self.vm_stats.code_misses += 1
+            self.cache_stats.misses += 1
+        else:
+            self.vm_stats.code_hits += 1
+            self.cache_stats.hits += 1
+        return code
+
+    def _vm_lower(self, script: str):
+        """Lower one script for the VM backend.
+
+        One-command scripts whose words are all literal skip bytecode
+        entirely: lowering them to a :class:`CompiledCommand` avoids
+        the per-script Code build and root frame, which dominates for
+        the unique single-command strings the dataflow engine emits.
+        Everything else gets the full bytecode treatment.
+        """
+        try:
+            cmds = parse_cached(script)
+        except TclParseError as e:
+            raise TclError(str(e)) from None
+        if len(cmds) == 1:
+            cc = CompiledCommand(cmds[0])
+            if cc.argv is not None and cc.argv[0] not in _SCRIPT_BUILTINS:
+                return cc
+        return self._vm_compile_script(self, script)
 
     def compiled(self, script: str) -> CompiledScript:
         """Fetch (or build) the compiled form of a script, LRU-cached.

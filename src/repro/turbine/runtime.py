@@ -76,6 +76,10 @@ class RuntimeConfig:
     # Compile-and-cache Tcl execution: per-command specialized forms
     # with epoch-invalidated command-pointer caches.
     tcl_compile: bool = True
+    # Tcl execution backend: "vm" runs scripts on the bytecode VM
+    # (explicit frame stack, inline command caches), "ast" walks the
+    # compiled AST forms.  Ignored when tcl_compile is off.
+    tcl_exec: str = "vm"
     # Client-side memoization of closed (immutable) TD values.
     read_cache: bool = True
     # Coalesce refcount decrements per TD, flushed at task boundaries.
@@ -271,7 +275,9 @@ def make_client_interp(
         reliable=reliable,
         tracer=tracer,
     )
-    interp = Interp(compile_enabled=config.tcl_compile)
+    interp = Interp(
+        compile_enabled=config.tcl_compile, exec_mode=config.tcl_exec
+    )
     interp.echo = False
     if engine is not None:
         engine.client = client

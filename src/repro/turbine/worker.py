@@ -164,12 +164,16 @@ class Worker:
 def fold_cache_stats(tracer: Any, client: AdlbClient, interp, rank: int) -> None:
     """Fold the rank's compile/read-cache counters into run metrics.
 
-    Exposes ``tcl.compile.{hits,misses,expr_hits,expr_misses}`` and
-    ``adlb.retrieve_cache.{hits,misses,evictions,...}``.
+    Exposes ``tcl.compile.{hits,misses,expr_hits,expr_misses}``,
+    ``tcl.vm.{frames,cache_hits,cache_misses,...}`` (when the bytecode
+    VM ran anything), and ``adlb.retrieve_cache.{hits,misses,...}``.
     """
     cache_stats = getattr(interp, "cache_stats", None)
     if cache_stats is not None:
         tracer.metrics.fold_struct("tcl.compile", cache_stats, rank=rank)
+    vm_stats = getattr(interp, "vm_stats", None)
+    if vm_stats is not None and vm_stats.frames:
+        tracer.metrics.fold_struct("tcl.vm", vm_stats, rank=rank)
     data_stats = getattr(client, "data_stats", None)
     if data_stats is not None:
         tracer.metrics.fold_struct("adlb.retrieve_cache", data_stats, rank=rank)
