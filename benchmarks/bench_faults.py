@@ -62,6 +62,33 @@ def measure_faults_overhead(rounds: int = 5) -> dict:
     }
 
 
+def measure_journal_overhead(rounds: int = 5) -> dict:
+    """Best-of-rounds rule-table journaling on vs off wall time.
+
+    Two engines so journaling is legal (and its default); one server so
+    the flushes are plain oneway sends, isolating the journal cost from
+    the reliable-RPC machinery measured by the replication benchmark.
+    With no faults injected the engine only flushes at its blocking
+    boundaries, so the budget is tight: the ratio must stay <= 1.1.
+    """
+
+    def best(**options) -> float:
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            run_program(engines=2, **options)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    off = best(journal=False)
+    on = best(journal=True)
+    return {
+        "journal_off_s": off,
+        "journal_on_s": on,
+        "overhead_ratio": on / off,
+    }
+
+
 def test_faults_off_within_seed_noise(benchmark):
     """Tier-1 guard: with leases disabled nothing in the fault layer
     may cost more than its ``is None`` checks."""
@@ -79,3 +106,13 @@ def test_faults_default_within_seed_noise(benchmark):
     benchmark.pedantic(run_program, rounds=5, iterations=1, warmup_rounds=1)
     series(benchmark, leases=True)
     assert_within_seed_noise(benchmark.stats.stats.mean)
+
+
+def test_journal_overhead_within_budget():
+    """Floor guard: surviving engine death may cost at most 1.1x.
+
+    Journaling batches rule-lifecycle entries and flushes them as one
+    oneway send per blocking boundary; anything above the budget means
+    a flush crept into a hot per-rule path."""
+    ratio = measure_journal_overhead(rounds=3)["overhead_ratio"]
+    assert ratio <= 1.1, "journaling overhead %.2fx exceeds 1.1x" % ratio

@@ -18,7 +18,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from bench_faults import measure_faults_overhead  # noqa: E402
+from bench_faults import (  # noqa: E402
+    measure_faults_overhead,
+    measure_journal_overhead,
+)
 from bench_obs_overhead import measure_obs_overhead  # noqa: E402
 from bench_replication import measure_replication_overhead  # noqa: E402
 from bench_hotpath import (  # noqa: E402
@@ -43,6 +46,7 @@ def main() -> None:
         "end_to_end": measure_end_to_end(rounds=5),
         "dataflow_fanout": measure_dataflow(rounds=5),
         "bench_faults_overhead": measure_faults_overhead(rounds=5),
+        "bench_journal_overhead": measure_journal_overhead(rounds=5),
         "bench_replication_overhead": measure_replication_overhead(rounds=5),
         "bench_obs_overhead": measure_obs_overhead(rounds=5),
     }
@@ -64,6 +68,12 @@ def main() -> None:
         "%-18s %.2fx" % (
             "faults_overhead",
             results["bench_faults_overhead"]["overhead_ratio"],
+        )
+    )
+    print(
+        "%-18s %.2fx" % (
+            "journal_overhead",
+            results["bench_journal_overhead"]["overhead_ratio"],
         )
     )
     print(

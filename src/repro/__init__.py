@@ -26,10 +26,13 @@ from .api import SwiftRuntime, swift_run
 from .core import CompiledProgram, SwiftError, compile_swift
 from .faults import (
     DeadlineExceeded,
+    EngineLost,
     FaultPlan,
+    QuarantinedTask,
     ServerLost,
     TaskError,
     TaskFailure,
+    TaskTimeout,
 )
 from .mpi import RankFailure
 from .obs import Profile, Trace, Tracer
@@ -51,7 +54,10 @@ __all__ = [
     "FaultPlan",
     "TaskError",
     "TaskFailure",
+    "TaskTimeout",
     "ServerLost",
+    "EngineLost",
+    "QuarantinedTask",
     "DeadlineExceeded",
     "RankFailure",
     "__version__",

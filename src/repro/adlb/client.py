@@ -86,6 +86,10 @@ class AdlbClient:
         # edge (unit -> td) into the trace.
         self.tracer = tracer
         self.prov_unit: str | None = None
+        # Optional poll hook invoked while blocked in recv_async; the
+        # engine installs its journal heartbeat here so the anchor can
+        # tell a quiet engine from a silently-dead one.
+        self.tick: Any | None = None
         # Static layout anchor; reliable mode re-resolves it through the
         # shared ServerMap at every send, so a failover re-routes every
         # later request to the shard's heir transparently.
@@ -334,10 +338,18 @@ class AdlbClient:
 
     def recv_async(self) -> tuple:
         """Receive the next async event: ('notify', id) |
-        ('ctask', type, payload) | ('ckpt', gen) | ('shutdown',)."""
+        ('ctask', type, payload) | ('ckpt', gen) | ('adopt', rank,
+        rules, repair) | ('shutdown',)."""
         if not self.reliable:
-            msg, _ = self.comm.recv(tag=C.TAG_ASYNC)
-            return msg
+            if self.tick is None:
+                msg, _ = self.comm.recv(tag=C.TAG_ASYNC)
+                return msg
+            while True:
+                got = self.comm.recv_poll(tag=C.TAG_ASYNC, timeout=0.05)
+                if got is not None:
+                    msg, _ = got
+                    return msg
+                self.tick()
         while True:
             got = self.comm.recv_poll(tag=C.TAG_ASYNC, timeout=0.05)
             if got is not None:
@@ -353,6 +365,8 @@ class AdlbClient:
                         self._park_seq = -1
                         return msg[:3]
                 return msg
+            if self.tick is not None:
+                self.tick()
             if self._park_seq >= 0:
                 cur = self._epoch()
                 if cur != self._park_epoch:
@@ -366,6 +380,22 @@ class AdlbClient:
                         self._resolve(self.my_server),
                         C.TAG_REQUEST,
                     )
+
+    def journal(self, entries: list) -> None:
+        """Stream rule-lifecycle journal entries to the anchor server.
+
+        An empty list is a pure heartbeat (refreshes the journal's
+        last-heard stamp).  Always a raw oneway, even in reliable mode:
+        the thread-backed transport guarantees in-order delivery, a
+        flush after the final counter decrement must not block on a
+        server that already shut down, and entries stranded in a dead
+        server's mailbox are recovered by the heir's scavenge pass
+        (the message carries ``rank`` so provenance survives)."""
+        self.comm.send(
+            {"op": C.OP_JOURNAL, "rank": self.rank, "entries": entries},
+            self._resolve(self.my_server) if self.reliable else self.my_server,
+            C.TAG_ONEWAY,
+        )
 
     def task_fail(self, kind: str, error: str, traceback_text: str = "") -> None:
         """Report the leased task as failed; ownership of the unit (and

@@ -44,6 +44,7 @@ OP_TYPEOF = "TYPEOF"
 OP_INCR_WORK = "INCR_WORK"
 OP_DECR_WORK = "DECR_WORK"
 OP_TASK_FAIL = "TASK_FAIL"  # client reports a failed leased work unit
+OP_JOURNAL = "JOURNAL"  # engine streams rule-lifecycle journal entries
 OP_FINALIZE = "FINALIZE"
 OP_STATS = "STATS"
 

@@ -237,6 +237,16 @@ class DataStore:
         td.subscribers.append(rank)
         return False
 
+    def drop_subscriber(self, rank: int) -> None:
+        """Forget a dead rank's close-subscriptions on every open TD.
+
+        Its adopter re-subscribes for itself when it replays the
+        journaled rules; notifications must not chase the corpse.
+        """
+        for td in self.tds.values():
+            if not td.closed and rank in td.subscribers:
+                td.subscribers = [r for r in td.subscribers if r != rank]
+
     def container_reference(
         self, id: int, subscript: str, ref_id: int
     ) -> RefStore | None:

@@ -31,7 +31,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..faults import RankKilled, ServerLost, TaskError, TaskFailure, snippet
+from ..faults import (
+    EngineLost,
+    QuarantinedTask,
+    RankKilled,
+    ServerLost,
+    TaskError,
+    TaskFailure,
+    snippet,
+)
 from ..mpi import Comm
 from . import constants as C
 from .datastore import DataStore, DataStoreError, Notification, RefStore
@@ -94,6 +102,93 @@ class CkptStats:
     units_captured: int = 0
 
 
+@dataclass
+class QuarantineStats:
+    """Poison-task counters, folded into metrics as ``adlb.quarantine.*``."""
+
+    quarantined: int = 0
+    rank_kills: int = 0  # total rank deaths across quarantined units' chains
+
+
+class RuleJournal:
+    """Server-side mirror of one engine's pending rule table.
+
+    Built from the engine's streamed rule-lifecycle entries; at engine
+    death :meth:`pending` yields exactly the rules the dead engine had
+    registered but not yet fired/released (checkpoint-rule format, so
+    an adopter replays them through ``add_rule``).  ``guard`` is the
+    program/restore guard unit the engine holds, ``ctask_done`` marks a
+    control task whose effects are journaled but whose lease has not
+    been returned yet (its lease must not requeue).
+    """
+
+    __slots__ = ("rules", "guard", "ctask_done", "last_heard")
+
+    def __init__(self) -> None:
+        self.rules: dict[int, dict] = {}  # rule id -> {inputs: set, ...}
+        self.guard = 0
+        self.ctask_done = False
+        self.last_heard = time.monotonic()
+
+    def apply(self, entries: list) -> None:
+        for entry in entries:
+            kind = entry[0]
+            if kind == "create":
+                rule = dict(entry[1])
+                rule["inputs"] = set(rule["inputs"])
+                self.rules[rule["id"]] = rule
+            elif kind == "close":
+                td = entry[1]
+                for rule in self.rules.values():
+                    rule["inputs"].discard(td)
+            elif kind == "done":
+                self.rules.pop(entry[1], None)
+            elif kind == "guard":
+                self.guard = entry[1]
+            elif kind == "ctask_done":
+                self.ctask_done = True
+            elif kind == "ctask_clear":
+                self.ctask_done = False
+            else:
+                raise RuntimeError("unknown journal entry %r" % (kind,))
+
+    def pending(self) -> list[dict]:
+        """Pending rules in checkpoint-rule format for adoption replay."""
+        return [
+            {
+                "inputs": sorted(rule["inputs"]),
+                "action": rule["action"],
+                "type": rule["type"],
+                "target": rule["target"],
+                "priority": rule["priority"],
+                "name": rule["name"],
+            }
+            for rule in self.rules.values()
+        ]
+
+    def state(self) -> dict:
+        """Serializable image for resilver transfer."""
+        return {
+            "rules": [
+                dict(rule, inputs=sorted(rule["inputs"]))
+                for rule in self.rules.values()
+            ],
+            "guard": self.guard,
+            "ctask_done": self.ctask_done,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RuleJournal":
+        journal = cls()
+        for rule in state["rules"]:
+            rule = dict(rule)
+            rule["inputs"] = set(rule["inputs"])
+            journal.rules[rule["id"]] = rule
+        journal.guard = state["guard"]
+        journal.ctask_done = state["ctask_done"]
+        return journal
+
+
 #: dedup-cache marker: the request is parked, there is no reply to resend
 _PARKED = "__parked__"
 
@@ -121,6 +216,8 @@ class Replica:
         self.gdedup: dict[int, tuple[int, Any]] = {}
         self.adedup: dict[int, tuple[int, Any]] = {}
         self.dead_ranks: set[int] = set()
+        # engine rank -> mirrored rule journal (survives anchor death)
+        self.journals: dict[int, RuleJournal] = {}
         self.work_count = 0
         self.work_started = False
         self.poisoned = False
@@ -159,6 +256,10 @@ class Replica:
             self.next_id = entry[1]
         elif kind == "deadrank":
             self.dead_ranks.add(entry[1])
+        elif kind == "journal":
+            self.journals.setdefault(entry[1], RuleJournal()).apply(entry[2])
+        elif kind == "journal_clear":
+            self.journals.pop(entry[1], None)
         elif kind == "reset":
             state = entry[1]
             self.store.load_snapshot(state["store"])
@@ -168,6 +269,10 @@ class Replica:
             self.gdedup = dict(state["gdedup"])
             self.adedup = dict(state["adedup"])
             self.dead_ranks = set(state["dead_ranks"])
+            self.journals = {
+                r: RuleJournal.from_state(s)
+                for r, s in state.get("journals", {}).items()
+            }
             self.work_count = state["work_count"]
             self.work_started = state["work_started"]
             self.poisoned = state["poisoned"]
@@ -298,6 +403,7 @@ class Server:
         restore_shard: dict | None = None,
         monitor: Any | None = None,
         status_interval: float | None = None,
+        journal: bool = False,
     ):
         self.comm = comm
         self.layout = layout
@@ -321,6 +427,15 @@ class Server:
         self.on_error = on_error
         self.lease_stats = LeaseStats()
         self.failures: list[TaskFailure] = []
+        # ---- engine rule-table journaling -----------------------------
+        self.journal = journal
+        # engine rank -> its journaled rule table (this server is the
+        # engine's anchor; entries ride the op-log to the buddy too).
+        self._journals: dict[int, RuleJournal] = {}
+        # Units withdrawn as poisonous (their attempts kept killing
+        # their host ranks); collected onto RunResult.quarantined.
+        self.quarantined: list[QuarantinedTask] = []
+        self.quarantine_stats = QuarantineStats()
         # (release_at, seq, task) heap of backoff-delayed requeues
         self._delayed: list[tuple[float, int, Task]] = []
         self._delay_seq = 0
@@ -463,6 +578,10 @@ class Server:
             if self.ckpt_path is not None:
                 self.tracer.metrics.fold_struct(
                     "adlb.ckpt", self.ckpt_stats, rank=self.rank
+                )
+            if self.quarantined:
+                self.tracer.metrics.fold_struct(
+                    "adlb.quarantine", self.quarantine_stats, rank=self.rank
                 )
         return self.stats
 
@@ -615,6 +734,13 @@ class Server:
             if self._leases is not None:
                 if self._leases.pop(source, None) is not None:
                     self._repl(("done", source))
+                    # The lease's control task is fully accounted by
+                    # the engine now; a later engine death must not
+                    # repair it again.
+                    jr = self._journals.get(source)
+                    if jr is not None and jr.ctask_done:
+                        jr.ctask_done = False
+                        self._repl(("journal", source, [("ctask_clear",)]))
             if self.shutting_down:
                 self.comm.send(("shutdown",), source, C.TAG_ASYNC)
                 self._shutdown_acked.add(source)
@@ -753,6 +879,15 @@ class Server:
             return None
         if op == C.OP_TASK_FAIL:
             self._task_fail(source, msg)
+            return None
+        if op == C.OP_JOURNAL:
+            # Engine rule-lifecycle journal (empty = pure heartbeat).
+            rank = msg.get("rank", source)
+            jr = self._journals.setdefault(rank, RuleJournal())
+            jr.apply(msg["entries"])
+            jr.last_heard = time.monotonic()
+            if msg["entries"]:
+                self._repl(("journal", rank, msg["entries"]))
             return None
         if op == C.OP_STATS:
             from dataclasses import asdict
@@ -1029,6 +1164,7 @@ class Server:
             "work_started": self.work_started,
             "poisoned": self._poisoned,
             "next_id": self._next_id,
+            "journals": {r: j.state() for r, j in self._journals.items()},
         }
         self._repl_buf = [("reset", state)]
         self._repl_flush()
@@ -1110,6 +1246,13 @@ class Server:
             if cur is None or cached[0] > cur[0]:
                 self._adedup[client] = cached
         self._dead_ranks |= rep.dead_ranks
+        # Engine rule journals anchored at the dead server now live
+        # here.  The replica image merges first; flushes stranded in
+        # the dead server's mailbox are re-applied by the scavenge
+        # below, and the engine only re-aims new flushes at this heir
+        # after it learns of the failover — so entry order holds.
+        for r, j in rep.journals.items():
+            self._journals.setdefault(r, j)
         # Adopt the dead server's clients: they re-route here and must
         # be shut down before this server may exit.
         for r in range(self.layout.size):
@@ -1213,6 +1356,12 @@ class Server:
         """
         lease = self._leases.pop(source, None) if self._leases is not None else None
         if lease is None:
+            if source in self._dead_ranks:
+                # The rank was already declared dead and its lease
+                # swept (requeued or quarantined); a straggling
+                # failure report — e.g. a watchdog TaskTimeout racing
+                # the sweep — must not fail the unit a second time.
+                return
             # Leases disabled or the unit was already swept by a
             # dead-rank notification: permanently failed.
             self._give_up(
@@ -1273,6 +1422,20 @@ class Server:
         self.attached_clients.discard(rank)
         self._shutdown_acked.discard(rank)
         self.parked = [p for p in self.parked if p.rank != rank]
+        # Close notifications must stop chasing the dead rank (the
+        # adopter's re-subscription re-points them at itself).
+        self.store.drop_subscriber(rank)
+        if self._ckpt_phase is not None and rank in self._ckpt_waiting:
+            # A checkpoint round must not stall 10s waiting on a corpse.
+            self._ckpt_waiting.discard(rank)
+            if not self._ckpt_waiting:
+                if self._ckpt_phase == "engines":
+                    self._ckpt_engines_done()
+                else:
+                    self._ckpt_write()
+        ctask_done = False
+        if self.layout.is_engine(rank):
+            ctask_done = self._engine_dead(rank, reason)
         # Re-aim queued tasks that could only run on the dead rank.
         for task in self.queue.remove_targeted(rank):
             self._accept_task(dataclasses.replace(task, target=-1))
@@ -1282,6 +1445,12 @@ class Server:
         if lease is None:
             return
         self._repl(("done", rank))
+        if ctask_done:
+            # The journal shows the leased control task completed (its
+            # rule creates are journaled and adopted, its counter unit
+            # rides the adoption repair): requeueing would re-run it
+            # and double every one of its effects.
+            return
         task = lease.task
         if task.target == rank:
             task = dataclasses.replace(task, target=-1)
@@ -1289,17 +1458,110 @@ class Server:
         # A unit lost to a rank death gets at least one more chance,
         # even when task retries are disabled.
         if attempts <= max(1, self.max_retries):
-            self._requeue(task, attempts)
-        else:
-            self._give_up(
-                TaskFailure(
-                    rank=rank,
-                    kind="task",
-                    payload=snippet(task.payload),
-                    attempts=attempts,
-                    error=reason,
-                )
+            self._requeue(
+                dataclasses.replace(task, chain=tuple(task.chain) + ((rank, reason),)),
+                attempts,
             )
+        else:
+            self._quarantine(task, rank, reason, attempts)
+
+    def _quarantine(
+        self, task: Task, rank: int, reason: str, attempts: int
+    ) -> None:
+        """Withdraw a unit whose attempts keep killing their host ranks.
+
+        Unlike a task *error* (the unit raised and retries exhausted —
+        a TaskError), every attempt here took its rank down via a
+        ``RankKilled`` announcement or lease expiry; requeueing again
+        would keep feeding ranks to it.  The unit is recorded with its
+        retry chain and its counter unit poisoned ``continue``-style so
+        the run drains cleanly instead of respawn-looping.
+        """
+        chain = tuple(task.chain) + ((rank, reason),)
+        record = QuarantinedTask(
+            uid=str(task.uid),
+            kind="ctask" if task.type == C.CONTROL else "task",
+            payload=snippet(task.payload),
+            attempts=attempts,
+            chain=chain,
+        )
+        self.quarantined.append(record)
+        self.quarantine_stats.quarantined += 1
+        self.quarantine_stats.rank_kills += len(chain)
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.rank,
+                "adlb",
+                "quarantine",
+                {
+                    "uid": task.uid,
+                    "type": task.type,
+                    "attempts": attempts,
+                    "ranks": [r for r, _ in chain],
+                },
+            )
+        self.lease_stats.failed_permanent += 1
+        self._decr_work(poison=True)
+
+    def _engine_dead(self, rank: int, reason: str) -> bool:
+        """Engine-specific death handling; runs on every server.
+
+        Returns True when the dead engine's journal shows its leased
+        control task completed (so the caller must not requeue it).
+        Only the engine's anchor server performs the adoption: it
+        replays the journal into pending rules and ships them — plus
+        the termination-counter repair — to the lowest surviving
+        engine on the async channel.
+        """
+        if not self.journal:
+            # No journal: the pending rules died with the rank.  Raise
+            # the diagnostic instead of hanging (mirrors ServerLost).
+            raise EngineLost(rank, reason)
+        anchor = (
+            self.map.my_server(rank)
+            if self.map is not None
+            else self.layout.my_server(rank)
+        )
+        if anchor != self.rank:
+            return False
+        jr = self._journals.pop(rank, None)
+        if jr is None:
+            # Never journaled: the fail-stop invariant says it held
+            # nothing (first flush precedes the first kill-point).
+            return False
+        self._repl(("journal_clear", rank))
+        rules = jr.pending()
+        repair = len(rules) + jr.guard + (1 if jr.ctask_done else 0)
+        adopter = next(
+            (
+                e
+                for e in self.layout.engines
+                if e != rank and e not in self._dead_ranks
+            ),
+            None,
+        )
+        if adopter is None:
+            if rules or repair:
+                raise EngineLost(
+                    rank,
+                    reason + "; no surviving engine to adopt",
+                    rules_pending=len(rules),
+                )
+            return jr.ctask_done
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.rank,
+                "adlb",
+                "engine_adopt",
+                {
+                    "dead": rank,
+                    "adopter": adopter,
+                    "rules": len(rules),
+                    "repair": repair,
+                },
+            )
+        self.comm.send(("adopt", rank, rules, repair), adopter, C.TAG_ASYNC)
+        return jr.ctask_done
 
     def _lease_tick(self) -> None:
         """Release due backoff requeues; expire overdue leases."""
@@ -1384,10 +1646,37 @@ class Server:
         self._maybe_steal()
         if self.replicate:
             self._repl_tick()
+        if self.journal and self.faults is not None and self._leases is not None:
+            self._journal_tick()
         if self.ckpt_path is not None:
             self._ckpt_tick()
         if self._poisoned and not self.shutting_down:
             self._drain_tick()
+
+    def _journal_tick(self) -> None:
+        """Detect a silently-dead engine via journal-heartbeat loss.
+
+        A kill-notified engine death arrives as SOP_RANK_DEAD; a
+        *silent* kill models an abrupt crash, so the only signal is
+        that the engine's journal flushes/heartbeats stop.  Uses the
+        lease timeout as the staleness threshold — same budget a slow
+        worker gets.
+        """
+        now = time.monotonic()
+        for rank, jr in list(self._journals.items()):
+            if rank in self._dead_ranks:
+                continue
+            if now - jr.last_heard > self.lease_timeout:
+                reason = "journal heartbeat lost for %.1fs" % (
+                    now - jr.last_heard
+                )
+                for s in self._other_servers:
+                    self.comm.send(
+                        {"op": C.SOP_RANK_DEAD, "rank": rank, "reason": reason},
+                        s,
+                        C.TAG_SERVER,
+                    )
+                self._mark_rank_dead(rank, reason)
 
     def _repl_tick(self) -> None:
         """Heartbeat the buddy; detect a silently-dead ward."""
@@ -1660,6 +1949,24 @@ class Server:
                     self._buddy,
                     sorted(self._dead_servers) or "{}",
                 )
+            )
+        if self._journals:
+            parts.append(
+                "journals={%s}"
+                % ", ".join(
+                    "%d: %d rule(s)%s%s"
+                    % (
+                        r,
+                        len(j.rules),
+                        " +guard" if j.guard else "",
+                        " +ctask_done" if j.ctask_done else "",
+                    )
+                    for r, j in sorted(self._journals.items())
+                )
+            )
+        if self.quarantined:
+            parts.append(
+                "quarantined=%d" % len(self.quarantined)
             )
         if self.is_master:
             parts.append(

@@ -22,6 +22,7 @@ class Task:
     attempts: int = 0  # executions so far (>0 only for lease requeues)
     uid: int = -1  # stable identity across requeues/replication (-1: none)
     prov: str | None = None  # spawning rule/unit id (traced runs only)
+    chain: tuple = ()  # (rank, reason) per host-rank death this unit caused
 
 
 class WorkQueue:

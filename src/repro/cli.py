@@ -107,6 +107,28 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
         help="disable server replication even when it would default on",
     )
     p.add_argument(
+        "--journal",
+        dest="journal",
+        action="store_true",
+        default=None,
+        help="journal engine rule tables to their anchor server (survives "
+        "engine death; needs --engines >= 2)",
+    )
+    p.add_argument(
+        "--no-journal",
+        dest="journal",
+        action="store_false",
+        help="disable rule-table journaling even when it would default on",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task watchdog: a task running longer than this is "
+        "abandoned (TaskTimeout) and retried elsewhere",
+    )
+    p.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -151,6 +173,8 @@ def _runtime_config(
         max_retries=ns.max_retries,
         deadline=ns.deadline,
         replicate=ns.replicate,
+        journal=ns.journal,
+        task_timeout=ns.task_timeout,
         checkpoint_path=ns.checkpoint,
         checkpoint_interval=ns.checkpoint_interval,
         restore=ns.restore,
@@ -164,15 +188,29 @@ def _report_failures(result) -> int:
     reported and reflected in the exit code."""
     if result.ok:
         return 0
-    print(
-        "run completed with %d permanent failure(s):" % len(result.failures),
-        file=sys.stderr,
-    )
-    for f in result.failures:
+    if result.failures:
         print(
-            "  rank %d %s (%d attempt(s)): %s" % (f.rank, f.kind, f.attempts, f.error),
+            "run completed with %d permanent failure(s):" % len(result.failures),
             file=sys.stderr,
         )
+        for f in result.failures:
+            print(
+                "  rank %d %s (%d attempt(s)): %s"
+                % (f.rank, f.kind, f.attempts, f.error),
+                file=sys.stderr,
+            )
+    if result.quarantined:
+        print(
+            "run completed with %d quarantined task(s):" % len(result.quarantined),
+            file=sys.stderr,
+        )
+        for q in result.quarantined:
+            chain = ", ".join("rank %d (%s)" % (r, why) for r, why in q.chain)
+            print(
+                "  %s %s (%d attempt(s)) killed: %s"
+                % (q.kind, q.payload, q.attempts, chain),
+                file=sys.stderr,
+            )
     return 3
 
 

@@ -109,6 +109,17 @@ class DeadlineExceeded(RuntimeError):
     """The run's wall-clock deadline expired before completion."""
 
 
+class TaskTimeout(RuntimeError):
+    """A per-task watchdog expired: the unit overran ``task_timeout``.
+
+    Raised on the worker's watchdog thread, never inside the task
+    itself; the overdue unit is *abandoned* (its lease is failed back
+    to the server for retry) and the worker recycles its embedded
+    interpreter state before taking new work, so a wedged interpreter
+    cannot poison subsequent units.
+    """
+
+
 class ServerLost(RuntimeError):
     """An ADLB server rank died and replication was not enabled.
 
@@ -130,6 +141,63 @@ class ServerLost(RuntimeError):
         )
 
 
+class EngineLost(RuntimeError):
+    """A Turbine engine rank died and rule-table journaling was off.
+
+    The dead engine took its pending dataflow rules with it, so the
+    TDs those rules would have produced can never close and the run
+    cannot complete.  Raised promptly as a diagnostic — by the dying
+    rank itself for announced kills, or by the server lease sweep for
+    silent ones — instead of letting the run hang until a recv
+    timeout.  Enable ``journal=True`` (automatic under
+    ``on_error="retry"`` with at least two engines) to make engine
+    death recoverable via journal replay and engine adoption.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        reason: str = "engine died",
+        rules_pending: int | None = None,
+        units_registered: int | None = None,
+    ):
+        self.rank = rank
+        self.rules_pending = rules_pending
+        self.units_registered = units_registered
+        detail = ""
+        if rules_pending is not None:
+            detail = " It held %d pending rule(s)" % rules_pending
+            if units_registered is not None:
+                detail += " across %d registered unit(s) of work" % (
+                    units_registered
+                )
+            detail += "."
+        super().__init__(
+            "Turbine engine rank %d lost (%s) and rule-table journaling "
+            "is disabled; its pending dataflow rules are gone.%s Run "
+            "with journal=True and n_engines >= 2 to survive engine "
+            "death." % (rank, reason, detail)
+        )
+
+
+@dataclass
+class QuarantinedTask:
+    """Record of a unit quarantined as poisonous to its host ranks.
+
+    A unit is quarantined when its lease attempts are exhausted by
+    *rank deaths* (``RankKilled`` announcements or lease expiry) rather
+    than by task exceptions: re-queueing it again would keep killing
+    ranks.  ``chain`` records each failed attempt as ``(rank, reason)``
+    in order.  Surfaced on ``RunResult.quarantined``.
+    """
+
+    uid: str
+    kind: str
+    payload: str
+    attempts: int
+    chain: tuple = ()
+
+
 # --------------------------------------------------------------- the plan
 
 
@@ -137,6 +205,13 @@ class ServerLost(RuntimeError):
 class _KillRule:
     rank: int
     after_tasks: int
+    silent: bool
+
+
+@dataclass
+class _PoisonRule:
+    match: str
+    times: int | None
     silent: bool
 
 
@@ -180,27 +255,62 @@ class FaultPlan:
     def __init__(self, seed: int = 0):
         self.seed = seed
         self.kills: list[_KillRule] = []
+        self.poison_rules: list[_PoisonRule] = []
         self.task_rules: list[_TaskRule] = []
         self.msg_rules: list[_MsgRule] = []
 
     def __repr__(self) -> str:
-        return "FaultPlan(seed=%d, kills=%d, task_rules=%d, msg_rules=%d)" % (
-            self.seed,
-            len(self.kills),
-            len(self.task_rules),
-            len(self.msg_rules),
+        return (
+            "FaultPlan(seed=%d, kills=%d, poison=%d, task_rules=%d, "
+            "msg_rules=%d)"
+            % (
+                self.seed,
+                len(self.kills),
+                len(self.poison_rules),
+                len(self.task_rules),
+                len(self.msg_rules),
+            )
         )
 
     def kill_rank(
         self, rank: int, after_tasks: int = 0, silent: bool = False
     ) -> "FaultPlan":
-        """Kill ``rank`` when it receives its ``after_tasks + 1``-th task.
+        """Kill ``rank`` when it reaches its ``after_tasks + 1``-th unit.
 
-        The rank dies holding a leased work unit, exercising requeue.
+        What counts as a unit depends on the rank's role, and each is a
+        fail-stop boundary so the kill is deterministic per seed across
+        backends (``tcl_exec=vm|ast``):
+
+        * **workers** — leased work units received; the rank dies
+          holding the lease, exercising requeue.
+        * **engines** — rule-action hooks: every rule *fire* (LOCAL
+          eval or WORK/CONTROL release) and every control task
+          received.  Rule-count order is fixed by the dataflow, not by
+          interpreter internals, so ``after_tasks=`` picks the same
+          boundary under either Tcl backend.
+        * **servers** — dispatched messages; the server dies between
+          receives, never mid-mutation.
+
         ``silent=True`` suppresses the launcher's dead-rank
         notification so recovery must come from the lease sweep.
         """
         self.kills.append(_KillRule(rank, after_tasks, silent))
+        return self
+
+    def poison_task(
+        self, match: str, times: int | None = None, silent: bool = False
+    ) -> "FaultPlan":
+        """Kill whichever rank executes a task whose payload has ``match``.
+
+        Unlike :meth:`kill_rank` this follows the *task*: every rank
+        that picks the unit up dies, modelling a poisonous input that
+        crashes its host.  With leases enabled the unit is re-queued
+        until its attempts are exhausted by rank deaths, at which point
+        the server quarantines it (``RunResult.quarantined``) instead
+        of respawn-looping.  ``times`` bounds how many executions kill
+        (``None`` = every one).
+        """
+        self.poison_rules.append(_PoisonRule(match, times, silent))
         return self
 
     def fail_task(
@@ -292,14 +402,21 @@ class FaultState:
         self._tasks_seen: dict[int, int] = {}
         self._server_ops_seen: dict[int, int] = {}
         self._kill_done = [False] * len(plan.kills)
+        self._poison_budget = [r.times for r in plan.poison_rules]
         self._task_budget = [r.times for r in plan.task_rules]
         self._msg_budget = [r.times for r in plan.msg_rules]
 
-    def on_task(self, rank: int, payload: object) -> tuple | None:
+    def on_task(
+        self, rank: int, payload: object, kill_only: bool = False
+    ) -> tuple | None:
         """Directive for the next unit of work on ``rank``.
 
         Returns ``None`` (run normally), ``("kill", silent)``,
         ``("raise", message)``, or ``("sleep", delay)``.
+        ``kill_only=True`` is the engine's *release* hook: the unit
+        counts toward ``kill_rank(after_tasks=...)`` (a release is a
+        rule fire), but poison/fail/slow rules are skipped — those
+        apply where the task payload actually executes.
         """
         plan = self.plan
         with self._lock:
@@ -310,9 +427,23 @@ class FaultState:
                     self._kill_done[i] = True
                     self.stats.kills += 1
                     return ("kill", kill.silent)
-            if not plan.task_rules:
+            if kill_only:
+                return None
+            if not plan.task_rules and not plan.poison_rules:
                 return None
             text = payload if isinstance(payload, str) else repr(payload)
+            for i, rule in enumerate(plan.poison_rules):
+                budget = self._poison_budget[i]
+                if budget is not None and budget <= 0:
+                    continue
+                if rule.match not in text:
+                    continue
+                if budget is not None:
+                    self._poison_budget[i] = budget - 1
+                self.stats.kills += 1
+                return ("kill", rule.silent)
+            if not plan.task_rules:
+                return None
             for i, rule in enumerate(plan.task_rules):
                 if rule.rank is not None and rule.rank != rank:
                     continue

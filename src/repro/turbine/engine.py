@@ -44,6 +44,16 @@ class EngineStats:
     control_tasks_run: int = 0
 
 
+@dataclass
+class JournalStats:
+    """Rule-table journaling counters, folded as ``engine.journal.*``."""
+
+    entries: int = 0
+    flushes: int = 0
+    adoptions: int = 0
+    adopted_rules: int = 0
+
+
 class Engine:
     """Dataflow rule bookkeeping + main event loop for one engine rank."""
 
@@ -55,6 +65,7 @@ class Engine:
         on_error: str = "retry",
         retries_enabled: bool = False,
         faults: Any | None = None,
+        journal: bool = False,
     ):
         self.client = client
         self.interp = interp
@@ -62,6 +73,12 @@ class Engine:
         self.on_error = on_error
         self.retries_enabled = retries_enabled
         self.faults = faults
+        self.journal = journal
+        # Buffered rule-lifecycle journal entries, streamed to the
+        # anchor server at dispatch boundaries (always immediately
+        # before a fault kill-point, so the journal is exact at death).
+        self._jbuf: list[tuple] = []
+        self.journal_stats = JournalStats()
         self.failures: list[TaskFailure] = []
         self._seq = itertools.count(1)
         # Provenance unit ids for control tasks run on this engine
@@ -114,12 +131,14 @@ class Engine:
                     "by": self.client.prov_unit,
                 },
             )
+        pending: list[int] = []
         for td in set(inputs):
             if td in self.closed:
                 continue
             if td in self.subscribed:
                 self.blocked.setdefault(td, []).append(rule)
                 rule.remaining += 1
+                pending.append(td)
                 continue
             if self.client.subscribe(td):
                 self.closed.add(td)
@@ -127,8 +146,46 @@ class Engine:
             self.subscribed.add(td)
             self.blocked.setdefault(td, []).append(rule)
             rule.remaining += 1
+            pending.append(td)
         if rule.remaining == 0:
             self.ready.append(rule)
+        if self.journal:
+            self._jot(
+                (
+                    "create",
+                    {
+                        "id": rule.id,
+                        "inputs": pending,
+                        "action": action,
+                        "type": rtype,
+                        "target": target,
+                        "priority": priority,
+                        "name": name,
+                    },
+                )
+            )
+
+    # ---------------------------------------------------------------- journal
+
+    def _jot(self, entry: tuple) -> None:
+        """Buffer one journal entry (flushed at dispatch boundaries)."""
+        self._jbuf.append(entry)
+        self.journal_stats.entries += 1
+
+    def journal_flush(self) -> None:
+        """Stream buffered journal entries to the anchor server.
+
+        Called immediately before every fault kill-point so the
+        journal is exact at the instant of death (kills only fire at
+        ``faults.on_task`` hooks — the fail-stop invariant), and at
+        coarse loop boundaries otherwise.
+        """
+        if not self._jbuf:
+            return
+        buf = self._jbuf
+        self._jbuf = []
+        self.client.journal(buf)
+        self.journal_stats.flushes += 1
 
     def checkpoint_rules(self) -> list[dict]:
         """Snapshot the rule table for a checkpoint.
@@ -189,10 +246,17 @@ class Engine:
             self.tracer.instant(self.client.rank, "rule", "notify", {"td": td})
         self.closed.add(td)
         self.subscribed.discard(td)
+        if self.journal:
+            self._jot(("close", td))
         for rule in self.blocked.pop(td, []):
             rule.remaining -= 1
             if rule.remaining == 0:
                 self.ready.append(rule)
+
+    def pending_rule_count(self) -> int:
+        """Rules registered but not yet fired/released (diagnostics)."""
+        blocked = {r.id for rules in self.blocked.values() for r in rules}
+        return len(blocked) + len(self.ready)
 
     def drain(self) -> None:
         """Fire every ready rule (firing may enqueue more)."""
@@ -200,6 +264,11 @@ class Engine:
         faults = self.faults
         while self.ready:
             rule = self.ready.popleft()
+            if faults is not None and self.journal:
+                # Kill-point ahead: flush so the journal is exact at
+                # the instant of death (kills only fire at on_task
+                # hooks — the fail-stop invariant).
+                self.journal_flush()
             if rule.type == "LOCAL":
                 self.stats.rules_fired_local += 1
                 directive = None
@@ -238,13 +307,27 @@ class Engine:
                     # LOCAL rules mutate engine-local state, so they
                     # are never retried: continue records, the other
                     # modes surface a TaskError.
+                    if self.journal:
+                        self._jot(("done", rule.id))
                     self._unit_error("rule", rule.action, e, retryable=False)
                     continue
+                if self.journal:
+                    self._jot(("done", rule.id))
                 # Deferred refcount decrements land before the rule's
                 # accounting unit (they can close TDs and fire rules).
                 self.client.flush_refcounts()
                 self.client.decr_work()  # the rule's accounting unit
             else:
+                # A release is a rule fire for kill accounting (so
+                # seeded engine kills land at deterministic dataflow
+                # boundaries), but poison/fail/slow rules apply where
+                # the payload executes, not here.
+                if faults is not None:
+                    directive = faults.on_task(
+                        self.client.rank, rule.action, kill_only=True
+                    )
+                    if directive is not None and directive[0] == "kill":
+                        raise RankKilled(self.client.rank, directive[1])
                 # The rule's accounting unit transfers to the task; the
                 # executing rank decrements after running it.
                 self.stats.tasks_released += 1
@@ -264,6 +347,63 @@ class Engine:
                     if tracer is not None
                     else None,
                 )
+                if self.journal:
+                    self._jot(("done", rule.id))
+
+    def journal_heartbeat(self) -> None:
+        """Client-poll hook: flush pending entries or an empty beat.
+
+        Installed as ``client.tick`` so it runs while the engine is
+        blocked in ``recv_async``; the anchor refreshes the journal's
+        last-heard stamp, which is how a silently-dead *idle* engine
+        (holding no lease to sweep) is eventually noticed.
+        """
+        now = time.monotonic()
+        last = getattr(self, "_last_beat", 0.0)
+        if self._jbuf:
+            self.journal_flush()
+            self._last_beat = now
+        elif now - last >= 0.2:
+            self.client.journal([])
+            self._last_beat = now
+
+    def _adopt(self, dead: int, rules: list[dict], repair: int) -> None:
+        """Adopt a dead engine's journaled rule table.
+
+        Each ``add_rule`` re-subscribes (re-pointing the TD close
+        subscriptions at this rank) and re-increments the termination
+        counter; ``repair`` then cancels the units the dead engine
+        held (its pending rules, plus its program/restore guard and a
+        completed-but-unaccounted control task, if any).  The incrs
+        land first, so the counter never touches zero mid-adoption —
+        the dead engine's stale units keep it positive until the
+        repair decrement restores the truth.
+        """
+        self.journal_stats.adoptions += 1
+        self.journal_stats.adopted_rules += len(rules)
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.client.rank,
+                "engine",
+                "adopt",
+                {"dead": dead, "rules": len(rules), "repair": repair},
+            )
+        for r in rules:
+            self.add_rule(
+                list(r["inputs"]),
+                r["action"],
+                rtype=r["type"],
+                target=r["target"],
+                priority=r["priority"],
+                name=r["name"],
+            )
+        if repair:
+            self.client.decr_work(amount=repair)
+        # The adopted rules are journaled as our own creates, so a
+        # chained death of this engine is recoverable too.
+        self.journal_flush()
+        self.drain()
+        self.client.flush_refcounts()
 
     def _unit_error(
         self, kind: str, payload: str, e: BaseException, retryable: bool
@@ -318,8 +458,17 @@ class Engine:
         """
         tracer = self.tracer
         rank = self.client.rank
+        if self.journal and self.faults is not None:
+            # Heartbeat: lets the anchor detect a silently-dead idle
+            # engine (no lease to sweep) by journal staleness.
+            self.client.tick = self.journal_heartbeat
         self.client.park_async((CONTROL,))
         if restore is not None:
+            # The restored counter reserved one guard unit for this
+            # engine; journal it so an adopter repairs it if we die
+            # before releasing it.
+            if self.journal:
+                self._jot(("guard", 1))
             for r in restore:
                 self.add_rule(
                     list(r["inputs"]),
@@ -332,8 +481,12 @@ class Engine:
             self.drain()
             self.client.flush_refcounts()
             self.client.decr_work()  # the restore guard
+            if self.journal:
+                self._jot(("guard", 0))
         if initial_script is not None:
             self.client.incr_work()
+            if self.journal:
+                self._jot(("guard", 1))
             try:
                 if tracer is None:
                     self.interp.eval(initial_script)
@@ -367,13 +520,22 @@ class Engine:
                 # effects are live); continue records and drains
                 # whatever dataflow it did set up.
                 self._unit_error("program", initial_script, e, retryable=False)
+                if self.journal:
+                    self._jot(("guard", 0))  # _unit_error accounted it
                 self.drain()
             else:
                 self.drain()
                 self.client.flush_refcounts()
                 self.client.decr_work()
+                if self.journal:
+                    self._jot(("guard", 0))
         while True:
             self.drain()
+            if self.journal:
+                # Coarse boundary: everything since the last kill-point
+                # lands before the engine blocks, so the buffer is
+                # empty when the next message's kill-check runs.
+                self.journal_flush()
             # Time blocked here with no ready rules is a dataflow stall:
             # the engine is waiting on close notifications or control work.
             if tracer is None:
@@ -435,13 +597,27 @@ class Engine:
                     # and keeps serving its registered rules.
                     self._unit_error("ctask", msg[2], e, retryable=True)
                     self.drain()
+                    if self.journal:
+                        self.journal_flush()
                     self.client.park_async((CONTROL,))
                     continue
+                if self.journal:
+                    # The ctask's effects (rule creates) are journaled;
+                    # flag it done so the anchor will not requeue the
+                    # lease if we die in the drain below — requeueing
+                    # would re-create every rule.  The flag must land
+                    # before the park's lease pop clears it.
+                    self._jot(("ctask_done",))
+                    self.journal_flush()
                 self.drain()
+                if self.journal:
+                    self.journal_flush()
                 self.client.park_async((CONTROL,))  # also flushes refcounts
                 self.client.decr_work()
             elif kind == "ckpt":
                 self._ckpt_reply(msg[1])
+            elif kind == "adopt":
+                self._adopt(msg[1], msg[2], msg[3])
             elif kind == "shutdown":
                 break
             else:
@@ -450,5 +626,9 @@ class Engine:
             from .worker import fold_cache_stats
 
             tracer.metrics.fold_struct("engine", self.stats, rank=rank)
+            if self.journal:
+                tracer.metrics.fold_struct(
+                    "engine.journal", self.journal_stats, rank=rank
+                )
             fold_cache_stats(tracer, self.client, self.interp, rank)
         return self.stats

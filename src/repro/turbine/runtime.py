@@ -19,7 +19,14 @@ from ..adlb import constants as C
 from ..adlb.client import AdlbClient
 from ..adlb.layout import Layout
 from ..adlb.server import Server, ServerStats
-from ..faults import FaultState, RankKilled, ServerLost, TaskError, TaskFailure
+from ..faults import (
+    EngineLost,
+    FaultState,
+    RankKilled,
+    ServerLost,
+    TaskError,
+    TaskFailure,
+)
 from ..mpi import Comm, RankFailure, run_world
 from ..tcl.interp import Interp
 from .builtins import register_turbine
@@ -107,6 +114,18 @@ class RuntimeConfig:
     # two servers (a lone server has no buddy).  Explicitly True with
     # n_servers < 2 is a configuration error.
     replicate: bool | None = None
+    # Rule-table journaling: engines stream rule-lifecycle entries to
+    # their anchor server so a dead engine's pending rules can be
+    # replayed into a surviving engine (engine adoption).  None = auto:
+    # on when on_error == "retry" and there are at least two engines
+    # (a lone engine has no adopter).  Explicitly True with
+    # n_engines < 2 is a configuration error.
+    journal: bool | None = None
+    # Per-task watchdog: a worker-side deadline (seconds) per unit of
+    # work.  Overdue tasks are abandoned with a TaskTimeout fed into
+    # the normal retry/lease path, and the worker recycles embedded
+    # interpreter state before taking new work.  None disables.
+    task_timeout: float | None = None
     # Periodic consistent checkpoints to this path (master-driven
     # two-phase snapshot), every checkpoint_interval seconds.
     checkpoint_path: str | None = None
@@ -221,10 +240,14 @@ class RunResult:
     # Units of work that failed permanently but did not abort the run
     # (on_error="continue", or retries exhausted on a dead rank).
     failures: list[TaskFailure] = field(default_factory=list)
+    # Units quarantined as poisonous: their attempts repeatedly killed
+    # their host ranks, so the server withdrew them instead of
+    # respawn-looping (repro.faults.QuarantinedTask records).
+    quarantined: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.quarantined
 
     @property
     def stdout(self) -> str:
@@ -333,6 +356,14 @@ def run_turbine_program(
             "replicate=True needs n_servers >= 2: a lone server has "
             "no buddy to hold its replica"
         )
+    journal = config.journal
+    if journal is None:
+        journal = config.on_error == "retry" and config.n_engines >= 2
+    elif journal and config.n_engines < 2:
+        raise ValueError(
+            "journal=True needs n_engines >= 2: a lone engine has "
+            "no surviving engine to adopt its rules"
+        )
     # Leases cost a dict insert/pop per task handout, so they are only
     # switched on when something can actually use them: retries, a
     # fault plan that may kill ranks, or checkpoint/restore (the
@@ -342,6 +373,7 @@ def run_turbine_program(
         or config.faults is not None
         or config.checkpoint_path is not None
         or config.restore is not None
+        or config.task_timeout is not None
     )
     faults = FaultState(config.faults) if config.faults is not None else None
     # Reliable RPC (seq-stamped, re-sendable requests) is what lets
@@ -374,6 +406,7 @@ def run_turbine_program(
     engine_stats: list[EngineStats] = []
     worker_stats: list[WorkerStats] = []
     failures: list[TaskFailure] = []
+    quarantined: list = []
     stats_lock = threading.Lock()
 
     def announce_death(comm: Comm, e: RankKilled) -> None:
@@ -407,6 +440,7 @@ def run_turbine_program(
                 on_error=config.on_error,
                 server_map=server_map,
                 replicate=replicate,
+                journal=journal,
                 faults=faults,
                 reliable=reliable,
                 checkpoint_path=config.checkpoint_path,
@@ -429,6 +463,7 @@ def run_turbine_program(
             with stats_lock:
                 server_stats.append(stats)
                 failures.extend(server.failures)
+                quarantined.extend(server.quarantined)
             return
         if role == "engine":
             engine = Engine(  # client/interp attached below
@@ -438,6 +473,7 @@ def run_turbine_program(
                 on_error=config.on_error,
                 retries_enabled=leases_enabled,
                 faults=faults,
+                journal=journal,
             )
             interp, client = make_client_interp(
                 comm, layout, ctx, engine, setup, server_map, reliable, tracer
@@ -452,6 +488,17 @@ def run_turbine_program(
             try:
                 stats = engine.serve(initial_script=initial, restore=restore)
             except RankKilled as e:
+                if not journal:
+                    # The dead engine's pending rules are unrecoverable:
+                    # raise the diagnostic promptly (even for silent
+                    # kills — nothing watches an idle engine, so the
+                    # alternative is a hang until the recv timeout).
+                    raise EngineLost(
+                        e.rank,
+                        str(e),
+                        rules_pending=engine.pending_rule_count(),
+                        units_registered=engine.stats.rules_created,
+                    ) from e
                 announce_death(comm, e)
                 return
             with stats_lock:
@@ -470,6 +517,7 @@ def run_turbine_program(
             on_error=config.on_error,
             retries_enabled=leases_enabled,
             faults=faults,
+            task_timeout=config.task_timeout,
         )
         try:
             stats = worker.serve()
@@ -512,7 +560,7 @@ def run_turbine_program(
         # instead of the rank-failure wrapper.  A lost server likewise
         # surfaces as its own diagnostic (ServerLost).
         for _, exc in e.failures:
-            if isinstance(exc, (TaskError, ServerLost)):
+            if isinstance(exc, (TaskError, ServerLost, EngineLost)):
                 raise exc from None
         raise
     finally:
@@ -551,4 +599,5 @@ def run_turbine_program(
         trace=trace,
         timeline=monitor.samples if monitor is not None else [],
         failures=sorted(failures, key=lambda f: f.rank),
+        quarantined=sorted(quarantined, key=lambda q: q.uid),
     )

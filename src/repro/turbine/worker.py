@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback
 from dataclasses import dataclass
 from typing import Any
 
+from ..adlb import constants as C
 from ..adlb.client import AdlbClient
 from ..adlb.constants import WORK
 from ..faults import InjectedFault, RankKilled, TaskError, TaskFailure, snippet
@@ -17,6 +19,81 @@ from ..mpi import AbortError, DeadlockError
 class WorkerStats:
     tasks_run: int = 0
     busy_time: float = 0.0
+
+
+@dataclass
+class WatchdogStats:
+    """Folded into run metrics as ``worker.watchdog.*``."""
+
+    fired: int = 0  # deadlines that expired with the task still running
+    abandoned: int = 0  # tasks whose results were discarded after expiry
+    recycled: int = 0  # interpreter recycles after an abandoned task
+
+
+class _Watchdog:
+    """One daemon thread arming a per-task deadline.
+
+    ``arm`` starts the clock for a task, ``disarm`` stops it; both are
+    mutually exclusive with the expiry firing (the condition lock is
+    held across the fire callback), so a task either finishes normally
+    or is abandoned — never both.  The fire callback runs on the
+    watchdog thread and must only do thread-safe work (the mailbox
+    sends of the thread-backed comm are queue-based and safe).
+    """
+
+    def __init__(self, timeout: float, on_expire: Any):
+        self.timeout = timeout
+        self.on_expire = on_expire
+        self._cond = threading.Condition()
+        self._gen = 0
+        self._deadline: float | None = None
+        self._fired_gen = -1
+        self._stop = False
+        self._thread = threading.Thread(
+            target=self._run, name="task-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def arm(self) -> int:
+        with self._cond:
+            self._gen += 1
+            self._deadline = time.monotonic() + self.timeout
+            self._cond.notify()
+            return self._gen
+
+    def disarm(self, gen: int) -> bool:
+        """Stop the clock; True if this arming already fired (the task
+        was abandoned while it ran — its unit is no longer ours)."""
+        with self._cond:
+            self._deadline = None
+            return self._fired_gen == gen
+
+    def fired(self, gen: int) -> bool:
+        with self._cond:
+            return self._fired_gen == gen
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stop = True
+            self._cond.notify()
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                if self._stop:
+                    return
+                if self._deadline is None:
+                    self._cond.wait()
+                    continue
+                now = time.monotonic()
+                if now < self._deadline:
+                    self._cond.wait(self._deadline - now)
+                    continue
+                # Expired: fire under the lock so a concurrent disarm
+                # (task just finished) cannot race the abandonment.
+                self._fired_gen = self._gen
+                self._deadline = None
+                self.on_expire()
 
 
 class Worker:
@@ -43,6 +120,7 @@ class Worker:
         on_error: str = "retry",
         retries_enabled: bool = False,
         faults: Any | None = None,
+        task_timeout: float | None = None,
     ):
         self.client = client
         self.interp = interp
@@ -52,19 +130,59 @@ class Worker:
         self.retries_enabled = retries_enabled
         self.faults = faults
         self.failures: list[TaskFailure] = []
+        self.task_timeout = task_timeout
+        self.watchdog_stats = WatchdogStats()
+        self._watchdog = (
+            _Watchdog(task_timeout, self._watchdog_fire)
+            if task_timeout is not None
+            else None
+        )
         # Provenance unit ids for tasks run on this worker
         # ("T<rank>.<n>"); counts executions, including retries.
         self._unit_seq = 0
 
+    def _watchdog_fire(self) -> None:
+        """Expiry callback (watchdog thread): hand the overdue unit
+        back as failed so the server can retry it elsewhere.
+
+        Sent as a raw oneway — never through the reliable-RPC path,
+        whose per-client sequence numbers belong to the main thread.
+        The main loop notices the abandonment at ``disarm`` and skips
+        the unit's accounting; the interpreter is recycled there.
+        """
+        self.watchdog_stats.fired += 1
+        self.client.comm.send(
+            {
+                "op": C.OP_TASK_FAIL,
+                "kind": "task",
+                "error": "TaskTimeout: task exceeded %.3gs watchdog"
+                % self.task_timeout,
+            },
+            self.client.my_server,
+            C.TAG_ONEWAY,
+        )
+
     def serve(self) -> WorkerStats:
+        try:
+            return self._serve()
+        finally:
+            if self._watchdog is not None:
+                self._watchdog.stop()
+
+    def _serve(self) -> WorkerStats:
         tracer = self.tracer
         faults = self.faults
         rank = self.client.rank
+        wd = self._watchdog
         while True:
             got = self.client.get((WORK,))
             if got is None:
                 if tracer is not None:
                     tracer.metrics.fold_struct("worker", self.stats, rank=rank)
+                    if wd is not None:
+                        tracer.metrics.fold_struct(
+                            "worker.watchdog", self.watchdog_stats, rank=rank
+                        )
                     fold_cache_stats(tracer, self.client, self.interp, rank)
                 return self.stats
             _, payload = got
@@ -81,17 +199,25 @@ class Worker:
                     # its lease; recovery is the server's job.
                     raise RankKilled(rank, directive[1])
             t0 = time.perf_counter()
+            gen = wd.arm() if wd is not None else 0
             try:
                 if directive is not None:
                     if directive[0] == "raise":
                         raise InjectedFault(directive[1])
                     time.sleep(directive[1])
-                self.interp.eval(payload)
+                if wd is None or not wd.fired(gen):
+                    # An expiry during the injected delay already handed
+                    # the unit back; running the payload now would
+                    # double-apply its stores.
+                    self.interp.eval(payload)
             except (AbortError, DeadlockError):
                 # Transport-level failures are rank problems, not task
                 # failures: never retried or recorded, always fatal.
                 raise
             except Exception as e:  # task failure — rank stays up
+                if wd is not None and wd.disarm(gen):
+                    self._abandon(rank, payload, tracer, unit, t0)
+                    continue
                 if tracer is not None:
                     # Failed attempts keep their span so grant instants
                     # stay aligned 1:1 with unit spans on this rank.
@@ -108,6 +234,9 @@ class Worker:
                         },
                     )
                 self._task_error(rank, payload, e)
+                continue
+            if wd is not None and wd.disarm(gen):
+                self._abandon(rank, payload, tracer, unit, t0)
                 continue
             t1 = time.perf_counter()
             self.stats.tasks_run += 1
@@ -126,6 +255,48 @@ class Worker:
             # and fire rules, which the termination counter must see.
             self.client.flush_refcounts()
             self.client.decr_work()
+
+    def _abandon(
+        self, rank: int, payload: Any, tracer: Any, unit: str | None, t0: float
+    ) -> None:
+        """The watchdog expired while this task ran: its unit was
+        already failed back to the server (and is being retried
+        elsewhere), so this attempt's results are discarded — no
+        counter decrement, no refcount flush — and the embedded
+        interpreters are recycled in case the runaway task wedged them.
+        """
+        self.watchdog_stats.abandoned += 1
+        self.client.discard_pending_refcounts()
+        self._recycle_interp()
+        if tracer is not None:
+            tracer.complete(
+                rank,
+                "task",
+                "task",
+                t0,
+                payload={
+                    "bytes": len(payload),
+                    "unit": unit,
+                    "ok": False,
+                    "error": "TaskTimeout",
+                },
+            )
+
+    def _recycle_interp(self) -> None:
+        """Reset per-interpreter state a runaway task may have wedged:
+        the persistent embedded Python/R sessions (``python_persist``
+        globals survive tasks by design — a hung task's partial state
+        must not leak into retries) and the compiled-Tcl caches."""
+        self.watchdog_stats.recycled += 1
+        interp = self.interp
+        for attr in ("_embedded_python", "_embedded_r"):
+            state = getattr(interp, attr, None)
+            if state is not None:
+                state["embedded"].reset()
+        for attr in ("_code_cache", "_vm_code_cache"):
+            cache = getattr(interp, attr, None)
+            if cache is not None:
+                cache.clear()
 
     def _task_error(self, rank: int, payload: Any, e: BaseException) -> None:
         """Exception-safe task accounting: every failed task either
