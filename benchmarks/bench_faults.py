@@ -89,6 +89,32 @@ def measure_journal_overhead(rounds: int = 5) -> dict:
     }
 
 
+def measure_audit_overhead(rounds: int = 5) -> dict:
+    """Best-of-rounds run-invariant auditing on vs off wall time.
+
+    Auditing is one terminal bookkeeping snapshot per rank plus the
+    conservation-law pass in the driver — all after the run's last
+    task, so the on-path budget is tight (<= 1.1x) and the off path is
+    one flag test per rank at teardown.
+    """
+
+    def best(**options) -> float:
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            run_program(servers=2, engines=2, **options)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    off = best()
+    on = best(audit=True)
+    return {
+        "audit_off_s": off,
+        "audit_on_s": on,
+        "overhead_ratio": on / off,
+    }
+
+
 def test_faults_off_within_seed_noise(benchmark):
     """Tier-1 guard: with leases disabled nothing in the fault layer
     may cost more than its ``is None`` checks."""
@@ -116,3 +142,24 @@ def test_journal_overhead_within_budget():
     a flush crept into a hot per-rule path."""
     ratio = measure_journal_overhead(rounds=3)["overhead_ratio"]
     assert ratio <= 1.1, "journaling overhead %.2fx exceeds 1.1x" % ratio
+
+
+def test_audit_off_within_seed_noise(benchmark):
+    """Tier-1 guard: with auditing off (the default) the hooks are one
+    flag test per rank at teardown — within noise of the seed."""
+    benchmark.pedantic(
+        lambda: run_program(servers=2, engines=2),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    series(benchmark, audit=False)
+    assert_within_seed_noise(benchmark.stats.stats.mean)
+
+
+def test_audit_overhead_within_budget():
+    """Auditing happens entirely at shutdown (one snapshot per rank,
+    one law pass in the driver), so turning it on may cost at most
+    1.1x — anything above means a check crept into a per-task path."""
+    ratio = measure_audit_overhead(rounds=3)["overhead_ratio"]
+    assert ratio <= 1.1, "audit overhead %.2fx exceeds 1.1x" % ratio

@@ -19,6 +19,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 from bench_faults import (  # noqa: E402
+    measure_audit_overhead,
     measure_faults_overhead,
     measure_journal_overhead,
 )
@@ -47,6 +48,7 @@ def main() -> None:
         "dataflow_fanout": measure_dataflow(rounds=5),
         "bench_faults_overhead": measure_faults_overhead(rounds=5),
         "bench_journal_overhead": measure_journal_overhead(rounds=5),
+        "bench_audit_overhead": measure_audit_overhead(rounds=5),
         "bench_replication_overhead": measure_replication_overhead(rounds=5),
         "bench_obs_overhead": measure_obs_overhead(rounds=5),
     }
@@ -74,6 +76,12 @@ def main() -> None:
         "%-18s %.2fx" % (
             "journal_overhead",
             results["bench_journal_overhead"]["overhead_ratio"],
+        )
+    )
+    print(
+        "%-18s %.2fx" % (
+            "audit_overhead",
+            results["bench_audit_overhead"]["overhead_ratio"],
         )
     )
     print(

@@ -560,6 +560,7 @@ class Server:
                 except Exception:
                     pass
             raise
+        self._journal_sweep()
         if self._status_interval is not None:
             # Final status so the driver's last sample reflects the
             # completed run even when shorter than one interval.
@@ -590,6 +591,83 @@ class Server:
             self.shutting_down
             and self._shutdown_acked >= self.attached_clients
         )
+
+    def _journal_sweep(self) -> None:
+        """Drain in-flight journal flushes after a clean shutdown.
+
+        An engine's final ``done`` entry is flushed *after* the
+        ``decr_work`` that zeroes the termination counter (the jot is
+        buffered in ``drain()``; the flush lands at the next loop
+        boundary), and parked clients are acked without a round trip —
+        so this server can satisfy :meth:`_done` while that last
+        ``OP_JOURNAL`` oneway is still in its mailbox or on the wire.
+        The engine is guaranteed to send it before blocking, so a
+        short bounded drain makes the mirrors exact for the terminal
+        audit; a live engine's mirror that *stays* pending past the
+        deadline is a real leak and is left for the audit to flag.
+        """
+        live_pending = lambda: any(  # noqa: E731
+            journal.rules
+            for engine, journal in self._journals.items()
+            if engine not in self._dead_ranks
+        )
+        if not live_pending():
+            return
+        deadline = time.monotonic() + 1.0
+        while live_pending() and time.monotonic() < deadline:
+            got = self.comm.recv_poll(timeout=0.02)
+            if got is None:
+                continue
+            msg, status = got
+            if isinstance(msg, dict) and msg.get("op") == C.OP_JOURNAL:
+                jr = self._journals.setdefault(
+                    msg.get("rank", status.source), RuleJournal()
+                )
+                jr.apply(msg["entries"])
+                jr.last_heard = time.monotonic()
+            # Anything else (heartbeats, reliable-RPC resends) would
+            # have been dropped by exiting anyway; discard it.
+
+    def audit_row(self) -> dict:
+        """Terminal bookkeeping snapshot for run-invariant auditing.
+
+        Called once, after :meth:`run` returns on a clean shutdown
+        (never on a killed rank), by the runtime's collection path when
+        ``RuntimeConfig.audit`` is set.  Pure reads — the server loop
+        has already exited, so no lock is needed.  The conservation
+        laws over these rows live in :mod:`repro.chaos.invariants`.
+        """
+        return {
+            "role": "server",
+            "rank": self.rank,
+            "is_master": self.is_master,
+            "work_started": self.work_started,
+            "work_count": self.work_count,
+            "poisoned": self._poisoned,
+            "queued_tasks": self.queue.size,
+            "delayed_tasks": len(self._delayed),
+            "parked_gets": len(self.parked),
+            # client rank -> uid of the task it still holds a lease on
+            "leases": {
+                client: str(lease.task.uid)
+                for client, lease in (self._leases or {}).items()
+            },
+            # engine rank -> rules still pending in its journal mirror
+            "journal_pending": {
+                engine: len(journal.rules)
+                for engine, journal in self._journals.items()
+            },
+            # per-channel dedup-slot counts (bounded by client count)
+            "dedup_slots": {
+                "rpc": len(self._dedup),
+                "get": len(self._gdedup),
+                "async": len(self._adedup),
+            },
+            "dead_ranks": sorted(self._dead_ranks),
+            "attached_clients": len(self.attached_clients),
+            "failures": len(self.failures),
+            "quarantined": len(self.quarantined),
+        }
 
     # ---------------------------------------------------------------- dispatch
 

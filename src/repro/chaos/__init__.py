@@ -1,0 +1,50 @@
+"""Chaos harness: randomized fault schedules, run-invariant auditing,
+and minimal-repro shrinking over real workloads.
+
+Three cooperating parts (see DESIGN.md "Chaos testing & run
+invariants"):
+
+* :mod:`repro.chaos.schedule` — a seeded generator that samples
+  randomized :class:`repro.faults.FaultPlan` instances for a given rank
+  layout and intensity (``light`` / ``medium`` / ``brutal``), within a
+  survivability envelope (never kill the last worker, only kill
+  servers/engines when replication/journaling can recover them, only
+  drop messages the reliable-RPC layer can re-send).
+* :mod:`repro.chaos.invariants` — conservation laws checked over the
+  per-rank terminal bookkeeping rows collected when
+  ``RuntimeConfig.audit`` is set: termination-counter conservation, no
+  leaked leases / journal entries / dedup slots / unflushed refcount
+  deltas at quiescence, and consistent failure/quarantine accounting.
+* :mod:`repro.chaos.runner` — N seeded trials per registered workload
+  (the real ``examples/``), outcome classification (clean /
+  tolerated-fault / invariant-violation / hang-caught-by-deadline),
+  ddmin shrinking of failing plans to a minimal rule set, and
+  replayable JSON repro artifacts (``repro run --fault-plan``).
+"""
+
+from .invariants import RunAudit, audit_run, compare_outputs
+from .runner import (
+    ChaosReport,
+    Trial,
+    Workload,
+    load_fault_plan,
+    load_workloads,
+    run_chaos,
+    shrink_plan,
+)
+from .schedule import INTENSITIES, generate_plan
+
+__all__ = [
+    "ChaosReport",
+    "INTENSITIES",
+    "RunAudit",
+    "Trial",
+    "Workload",
+    "audit_run",
+    "compare_outputs",
+    "generate_plan",
+    "load_fault_plan",
+    "load_workloads",
+    "run_chaos",
+    "shrink_plan",
+]

@@ -10,6 +10,8 @@ Usage::
     python -m repro trace program.swift [-o trace.json]
     python -m repro analyze program.swift [--dot run.dot] [--json out.json]
     python -m repro analyze saved.trace.json
+    python -m repro chaos [--trials N] [--intensity light|medium|brutal]
+        [--workloads NAME ...] [--out DIR]
     python -m repro submit program.swift --scheduler slurm --nodes 512
 
 ``compile`` writes the generated Turbine Tcl (a ``.tic`` file, as real
@@ -21,8 +23,11 @@ breakdown; ``trace`` runs traced and writes a Chrome ``trace_event``
 JSON (load in chrome://tracing or Perfetto); ``analyze`` reconstructs
 the run DAG from provenance events and prints the critical path with
 per-hop stall attribution (accepts either a Swift source to run traced
-or a ``.trace.json`` saved earlier); ``submit`` renders the batch
-submission script for a real machine.
+or a ``.trace.json`` saved earlier); ``chaos`` runs the randomized
+fault-injection campaign of :mod:`repro.chaos` (every ``run``-style
+command also accepts ``--audit`` for run-invariant checking and
+``--fault-plan`` to replay a chaos repro artifact); ``submit`` renders
+the batch submission script for a real machine.
 """
 
 from __future__ import annotations
@@ -148,6 +153,20 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
         help="resume from a checkpoint instead of running the program "
         "entry point (world shape must match the checkpointed run)",
     )
+    p.add_argument(
+        "--audit",
+        action="store_true",
+        help="check run invariants at shutdown (termination-counter "
+        "conservation, no leaked leases/journals/refcounts) and report "
+        "violations",
+    )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="inject faults from a FaultPlan JSON (a chaos repro "
+        "artifact or a bare plan image) — replays a chaos trial",
+    )
 
 
 def _runtime_config(
@@ -158,6 +177,11 @@ def _runtime_config(
     def _monitor_line(line: str) -> None:
         print(line, file=sys.stderr)
 
+    faults = None
+    if getattr(ns, "fault_plan", None):
+        from .chaos.runner import load_fault_plan
+
+        faults = load_fault_plan(ns.fault_plan)
     return RuntimeConfig.of(
         workers=ns.workers,
         servers=ns.servers,
@@ -178,6 +202,8 @@ def _runtime_config(
         checkpoint_path=ns.checkpoint,
         checkpoint_interval=ns.checkpoint_interval,
         restore=ns.restore,
+        audit=ns.audit,
+        faults=faults,
         args=_parse_args_list(ns.arg),
     )
 
@@ -212,6 +238,15 @@ def _report_failures(result) -> int:
                 file=sys.stderr,
             )
     return 3
+
+
+def _report_audit(result) -> int:
+    """Exit status contribution of ``--audit``: a run that completes
+    but violates a run invariant must fail loudly."""
+    if result.audit is None or result.audit.ok:
+        return 0
+    print(result.audit.render(), file=sys.stderr)
+    return 5
 
 
 def _parse_args_list(pairs: list[str]) -> dict[str, str]:
@@ -325,6 +360,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_disasm.add_argument("source", help="a .tcl/.tic file to disassemble")
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault-injection campaign over real workloads "
+        "with run-invariant auditing and minimal-repro shrinking",
+    )
+    p_chaos.add_argument(
+        "--workloads",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="workloads to torture (default: every loadable workload)",
+    )
+    p_chaos.add_argument(
+        "--trials",
+        type=int,
+        default=10,
+        help="seeded trials per workload (default 10)",
+    )
+    p_chaos.add_argument(
+        "--intensity",
+        choices=["light", "medium", "brutal"],
+        default="medium",
+    )
+    p_chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed; trial k uses seed+k (default 0)",
+    )
+    p_chaos.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-trial hang deadline (default 60)",
+    )
+    p_chaos.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write shrunk repro artifacts and report.json here",
+    )
+    p_chaos.add_argument(
+        "--no-shrink",
+        dest="shrink",
+        action="store_false",
+        help="skip ddmin shrinking of violating plans",
+    )
+    p_chaos.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=24,
+        help="max re-runs spent shrinking one violating plan",
+    )
+    p_chaos.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered workloads and exit",
+    )
+
     p_submit = sub.add_parser(
         "submit", help="render a batch submission script"
     )
@@ -375,18 +470,18 @@ def _dispatch(ns: argparse.Namespace) -> int:
             opt=ns.opt,
             config=_runtime_config(ns, echo=ns.command == "run", trace=traced),
         )
-        from .faults import DeadlineExceeded, TaskError
+        from .faults import DeadlineExceeded, EngineLost, TaskError
         from .mpi.launcher import RankFailure
 
         try:
             result = rt.run(source)
-        except (RankFailure, TaskError, DeadlineExceeded) as e:
+        except (RankFailure, TaskError, DeadlineExceeded, EngineLost) as e:
             print("run failed: %s" % e, file=sys.stderr)
             return 3
         if ns.command == "run":
             if traced:
                 print(result.profile.render(), file=sys.stderr)
-            return _report_failures(result)
+            return _report_failures(result) or _report_audit(result)
         if ns.command == "profile":
             print(result.profile.render())
             if ns.chrome:
@@ -415,12 +510,12 @@ def _dispatch(ns: argparse.Namespace) -> int:
                 opt=ns.opt,
                 config=_runtime_config(ns, echo=False, trace=True),
             )
-            from .faults import DeadlineExceeded, TaskError
+            from .faults import DeadlineExceeded, EngineLost, TaskError
             from .mpi.launcher import RankFailure
 
             try:
                 result = rt.run(source)
-            except (RankFailure, TaskError, DeadlineExceeded) as e:
+            except (RankFailure, TaskError, DeadlineExceeded, EngineLost) as e:
                 print("run failed: %s" % e, file=sys.stderr)
                 return 3
             trace = result.trace
@@ -442,22 +537,46 @@ def _dispatch(ns: argparse.Namespace) -> int:
         with open(ns.program, "r", encoding="utf-8") as f:
             program = f.read()
         config = _runtime_config(ns, echo=True, trace=ns.trace)
-        from .faults import DeadlineExceeded, TaskError
+        from .faults import DeadlineExceeded, EngineLost, TaskError
         from .mpi.launcher import RankFailure
 
         try:
             result = run_turbine_program(program, config)
-        except (RankFailure, TaskError, DeadlineExceeded) as e:
+        except (RankFailure, TaskError, DeadlineExceeded, EngineLost) as e:
             print("run failed: %s" % e, file=sys.stderr)
             return 3
         if ns.trace:
             print(result.profile.render(), file=sys.stderr)
-        return _report_failures(result)
+        return _report_failures(result) or _report_audit(result)
 
     if ns.command == "disasm":
         with open(ns.source, "r", encoding="utf-8") as f:
             script = f.read()
         return _disasm(script, ns.source)
+
+    if ns.command == "chaos":
+        from .chaos import load_workloads, run_chaos
+
+        if ns.list:
+            for wl in load_workloads():
+                print(
+                    "%-24s workers=%d servers=%d engines=%d"
+                    % (wl.name, wl.workers, wl.servers, wl.engines)
+                )
+            return 0
+        report = run_chaos(
+            workload_names=ns.workloads,
+            trials=ns.trials,
+            intensity=ns.intensity,
+            seed=ns.seed,
+            deadline=ns.deadline,
+            out_dir=ns.out,
+            shrink=ns.shrink,
+            shrink_budget=ns.shrink_budget,
+            log=lambda line: print(line, file=sys.stderr),
+        )
+        print(report.render())
+        return 0 if report.ok else 5
 
     if ns.command == "submit":
         spec = JobSpec(

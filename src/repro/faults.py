@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 import threading
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 
 def snippet(payload: object, limit: int = 200) -> str:
@@ -370,6 +370,48 @@ class FaultPlan:
             _MsgRule("delay", src, dest, tag, times, probability, delay)
         )
         return self
+
+    # ------------------------------------------------------- serialization
+
+    def rule_count(self) -> int:
+        """Total number of rules across every category."""
+        return (
+            len(self.kills)
+            + len(self.poison_rules)
+            + len(self.task_rules)
+            + len(self.msg_rules)
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable image of the plan.
+
+        The inverse of :meth:`from_dict`; every rule keeps its dataclass
+        field names, so shrunk chaos repros (``repro chaos``) round-trip
+        through ``repro run --fault-plan plan.json`` unchanged.
+        """
+        return {
+            "seed": self.seed,
+            "kills": [asdict(r) for r in self.kills],
+            "poison_rules": [asdict(r) for r in self.poison_rules],
+            "task_rules": [asdict(r) for r in self.task_rules],
+            "msg_rules": [asdict(r) for r in self.msg_rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_dict`.
+
+        Unknown rule fields are rejected (``TypeError``) rather than
+        silently dropped, so a stale repro artifact fails loudly.
+        """
+        plan = cls(seed=int(data.get("seed", 0)))
+        plan.kills = [_KillRule(**r) for r in data.get("kills", [])]
+        plan.poison_rules = [
+            _PoisonRule(**r) for r in data.get("poison_rules", [])
+        ]
+        plan.task_rules = [_TaskRule(**r) for r in data.get("task_rules", [])]
+        plan.msg_rules = [_MsgRule(**r) for r in data.get("msg_rules", [])]
+        return plan
 
 
 # --------------------------------------------------------------- run state

@@ -258,6 +258,26 @@ class Engine:
         blocked = {r.id for rules in self.blocked.values() for r in rules}
         return len(blocked) + len(self.ready)
 
+    def audit_row(self) -> dict:
+        """Terminal bookkeeping snapshot for run-invariant auditing.
+
+        Called once, after :meth:`serve` returns on a clean shutdown
+        (never on a killed rank).  At quiescence an engine may hold no
+        pending rules, no unflushed journal entries, and no unflushed
+        refcount deltas — the conservation checks live in
+        :mod:`repro.chaos.invariants`.
+        """
+        return {
+            "role": "engine",
+            "rank": self.client.rank,
+            "pending_rules": self.pending_rule_count(),
+            "unflushed_journal": len(self._jbuf),
+            "pending_refcounts": len(self.client._pending_refcounts),
+            "rules_created": self.stats.rules_created,
+            "adoptions": self.journal_stats.adoptions,
+            "failures": len(self.failures),
+        }
+
     def drain(self) -> None:
         """Fire every ready rule (firing may enqueue more)."""
         tracer = self.tracer

@@ -109,6 +109,13 @@ class RuntimeConfig:
     # Seeded fault-injection plan (repro.faults.FaultPlan) or None.
     # The faults-off path costs a single `is None` test per hook.
     faults: Any | None = None
+    # Run-invariant auditing (repro.chaos.invariants): each rank
+    # snapshots its terminal bookkeeping state (leases, journals,
+    # dedup slots, pending refcounts, termination counter) once at
+    # shutdown and the driver checks conservation laws over the rows.
+    # Off by default; the audit-off path is a single flag test per
+    # rank at teardown, so it stays within seed noise.
+    audit: bool = False
     # Buddy replication of server state (survives server death).
     # None = auto: on when on_error == "retry" and there are at least
     # two servers (a lone server has no buddy).  Explicitly True with
@@ -244,6 +251,12 @@ class RunResult:
     # their host ranks, so the server withdrew them instead of
     # respawn-looping (repro.faults.QuarantinedTask records).
     quarantined: list = field(default_factory=list)
+    # repro.chaos.invariants.RunAudit when the run had audit=True:
+    # per-rank terminal bookkeeping rows plus the invariant verdicts.
+    audit: Any | None = None
+    # FaultStats of the run's FaultPlan (None when no plan attached):
+    # how many injections actually fired, independent of tracing.
+    fault_stats: Any | None = None
 
     @property
     def ok(self) -> bool:
@@ -407,6 +420,7 @@ def run_turbine_program(
     worker_stats: list[WorkerStats] = []
     failures: list[TaskFailure] = []
     quarantined: list = []
+    audit_rows: list = []
     stats_lock = threading.Lock()
 
     def announce_death(comm: Comm, e: RankKilled) -> None:
@@ -464,6 +478,8 @@ def run_turbine_program(
                 server_stats.append(stats)
                 failures.extend(server.failures)
                 quarantined.extend(server.quarantined)
+                if config.audit:
+                    audit_rows.append(server.audit_row())
             return
         if role == "engine":
             engine = Engine(  # client/interp attached below
@@ -504,6 +520,8 @@ def run_turbine_program(
             with stats_lock:
                 engine_stats.append(stats)
                 failures.extend(engine.failures)
+                if config.audit:
+                    audit_rows.append(engine.audit_row())
             return
         # worker
         interp, client = make_client_interp(
@@ -527,6 +545,8 @@ def run_turbine_program(
         with stats_lock:
             worker_stats.append(stats)
             failures.extend(worker.failures)
+            if config.audit:
+                audit_rows.append(worker.audit_row())
 
     rank_labels = [layout.role(r) for r in range(config.size)]
     t0 = time.perf_counter()
@@ -590,6 +610,16 @@ def run_turbine_program(
                 "size": config.size,
             }
         )
+    audit = None
+    if config.audit:
+        from ..chaos.invariants import audit_run
+
+        audit = audit_run(
+            audit_rows,
+            layout=layout,
+            failures=failures,
+            quarantined=quarantined,
+        )
     return RunResult(
         output=output,
         elapsed=elapsed,
@@ -600,4 +630,6 @@ def run_turbine_program(
         timeline=monitor.samples if monitor is not None else [],
         failures=sorted(failures, key=lambda f: f.rank),
         quarantined=sorted(quarantined, key=lambda q: q.uid),
+        audit=audit,
+        fault_stats=faults.stats if faults is not None else None,
     )

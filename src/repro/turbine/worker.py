@@ -169,6 +169,23 @@ class Worker:
             if self._watchdog is not None:
                 self._watchdog.stop()
 
+    def audit_row(self) -> dict:
+        """Terminal bookkeeping snapshot for run-invariant auditing.
+
+        Called once, after :meth:`serve` returns on a clean shutdown
+        (never on a killed rank).  A quiescent worker holds no
+        unflushed refcount deltas: ``flush_refcounts`` runs at every
+        task boundary and failed attempts discard theirs.
+        """
+        return {
+            "role": "worker",
+            "rank": self.client.rank,
+            "pending_refcounts": len(self.client._pending_refcounts),
+            "tasks_run": self.stats.tasks_run,
+            "abandoned": self.watchdog_stats.abandoned,
+            "failures": len(self.failures),
+        }
+
     def _serve(self) -> WorkerStats:
         tracer = self.tracer
         faults = self.faults

@@ -50,6 +50,14 @@ def test_powergrid_contingency():
     assert "12 contingencies solved by the Fortran kernel" in out
 
 
+def test_fixpoint_labels():
+    out = run_example("fixpoint_labels.py")
+    assert "components: 3" in out
+    for node, root in enumerate([0, 0, 0, 3, 3, 3, 3, 7, 7]):
+        assert "node %d -> root %d" % (node, root) in out
+    assert "leaf tasks" in out
+
+
 def test_deploy_static_package():
     out = run_example("deploy_static_package.py")
     assert "loose files :  30 opens/rank" in out

@@ -343,6 +343,105 @@ class TestFaultPlanUnit:
         with pytest.raises(InjectedFault, match="custom boom"):
             raise InjectedFault(msg)
 
+    def test_drop_probability_respects_times_budget(self):
+        # probability=1.0 makes every send a candidate, so the times
+        # budget is the only thing bounding the damage.
+        state = FaultState(
+            FaultPlan(seed=SEED).drop_messages(probability=1.0, times=3)
+        )
+        directives = [state.on_send(0, 1, 10) for _ in range(10)]
+        assert directives[:3] == [("drop", 0.0)] * 3
+        assert directives[3:] == [None] * 7
+        assert state.stats.dropped_msgs == 3
+
+    def test_kill_only_skips_task_rules(self):
+        # The engine's release hook: the unit counts toward the kill
+        # schedule, but fail/slow rules apply where the payload runs.
+        plan = FaultPlan(seed=SEED).fail_task("x").kill_rank(5, after_tasks=1)
+        state = FaultState(plan)
+        assert state.on_task(5, "x marks", kill_only=True) is None
+        assert state.on_task(5, "x marks", kill_only=True) == ("kill", False)
+        assert state.stats.task_errors == 0
+
+    def test_silent_kill_directive_carries_flag(self):
+        state = FaultState(FaultPlan(seed=SEED).kill_rank(1, silent=True))
+        assert state.on_task(1, "anything") == ("kill", True)
+        state = FaultState(
+            FaultPlan(seed=SEED).poison_task("bad", silent=True)
+        )
+        assert state.on_task(0, "a bad unit") == ("kill", True)
+
+    def test_overlapping_task_rules_first_match_wins_until_exhausted(self):
+        # Two rules match the same payload: first-listed wins while it
+        # has budget, then the next takes over, then injections stop.
+        plan = (
+            FaultPlan(seed=SEED)
+            .fail_task("python", times=1, message="first")
+            .slow_task("python", delay=0.5, times=1)
+        )
+        state = FaultState(plan)
+        assert state.on_task(0, "python: a") == ("raise", "first")
+        assert state.on_task(0, "python: b") == ("sleep", 0.5)
+        assert state.on_task(0, "python: c") is None
+        assert state.stats.task_errors == 1
+        assert state.stats.slow_tasks == 1
+
+    def test_exhausted_budget_leaves_later_msg_rules_live(self):
+        plan = (
+            FaultPlan(seed=SEED)
+            .drop_messages(tag=10, times=1)
+            .delay_messages(delay=0.01, tag=10, times=None)
+        )
+        state = FaultState(plan)
+        assert state.on_send(0, 1, 10) == ("drop", 0.0)
+        assert state.on_send(0, 1, 10) == ("sleep", 0.01)
+        assert state.on_send(2, 3, 10) == ("sleep", 0.01)
+        assert state.on_send(2, 3, 11) is None  # tag filter still holds
+
+
+class TestFaultPlanSerialization:
+    def test_plan_round_trips_through_dict(self):
+        import json
+
+        plan = (
+            FaultPlan(seed=41)
+            .kill_rank(2, after_tasks=3, silent=True)
+            .poison_task("boom", times=1)
+            .fail_task("python", times=2, rank=4, message="m")
+            .slow_task("sh", delay=0.02, times=None)
+            .drop_messages(src=1, dest=2, tag=10, times=5, probability=0.5)
+            .delay_messages(delay=0.004, tag=13)
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.rule_count() == plan.rule_count() == 6
+        # JSON-safe: survives an actual encode/decode cycle.
+        assert json.loads(json.dumps(plan.to_dict())) == plan.to_dict()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(TypeError):
+            FaultPlan.from_dict(
+                {
+                    "seed": 0,
+                    "kills": [
+                        {
+                            "rank": 1,
+                            "after_tasks": 0,
+                            "silent": False,
+                            "bogus": 1,
+                        }
+                    ],
+                }
+            )
+
+    def test_round_tripped_plan_replays_identically(self):
+        # The deserialized plan drives the same injections end to end.
+        plan = FaultPlan(seed=SEED).fail_task("python", times=1)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        res = swift_run(FANOUT, workers=2, trace=True, faults=clone)
+        assert sorted(res.stdout_lines) == FANOUT_EXPECTED
+        assert counters(res)["fault.task_errors"] == 1
+
 
 class TestFaultsOffPath:
     def test_no_faults_no_lease_counters_without_retry_need(self):
