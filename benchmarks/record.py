@@ -23,7 +23,10 @@ from bench_faults import (  # noqa: E402
     measure_faults_overhead,
     measure_journal_overhead,
 )
-from bench_obs_overhead import measure_obs_overhead  # noqa: E402
+from bench_obs_overhead import (  # noqa: E402
+    measure_flightrec_overhead,
+    measure_obs_overhead,
+)
 from bench_replication import measure_replication_overhead  # noqa: E402
 from bench_hotpath import (  # noqa: E402
     EXPR_CALL,
@@ -51,6 +54,7 @@ def main() -> None:
         "bench_audit_overhead": measure_audit_overhead(rounds=5),
         "bench_replication_overhead": measure_replication_overhead(rounds=5),
         "bench_obs_overhead": measure_obs_overhead(rounds=5),
+        "bench_flightrec_overhead": measure_flightrec_overhead(rounds=7),
     }
     OUT.write_text(json.dumps(results, indent=2) + "\n")
     for name in ("tcl_proc_dispatch", "tcl_expr_loop", "end_to_end"):
@@ -94,6 +98,12 @@ def main() -> None:
         "%-18s %.2fx" % (
             "obs_overhead",
             results["bench_obs_overhead"]["overhead_ratio"],
+        )
+    )
+    print(
+        "%-18s %.2fx" % (
+            "flightrec_overhead",
+            results["bench_flightrec_overhead"]["overhead_ratio"],
         )
     )
     print("wrote", OUT)

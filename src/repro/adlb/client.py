@@ -85,6 +85,8 @@ class AdlbClient:
         # store issued while it is set emits a ``prov.write`` lineage
         # edge (unit -> td) into the trace.
         self.tracer = tracer
+        # Always-on flight recorder (may be None), shared via the world.
+        self.flightrec = comm.world.flightrec
         self.prov_unit: str | None = None
         # Optional poll hook invoked while blocked in recv_async; the
         # engine installs its journal heartbeat here so the anchor can
@@ -588,6 +590,12 @@ class AdlbClient:
                 continue
             by_server.setdefault(self.layout.home_server(id), []).append(
                 {"id": id, "read_delta": read_delta, "write_delta": write_delta}
+            )
+        if self.flightrec is not None:
+            self.flightrec.record(
+                self.rank,
+                "refcount_flush",
+                sum(len(v) for v in by_server.values()),
             )
         if self.tracer is not None:
             # Lineage: a deferred refcount batch belongs to the unit

@@ -517,6 +517,9 @@ class Server:
         # Hang reports dump this server's lease table and replication
         # lag, so a stuck run is diagnosable from the exception alone.
         comm.register_diagnostic(self._diagnostic)
+        # Always-on flight recorder (may be None); single `is None`
+        # test per hook, same discipline as tracer/faults.
+        self.flightrec = comm.world.flightrec
 
     def _load_shard(self, shard: dict) -> None:
         """Adopt a checkpoint shard (``repro run --restore``)."""
@@ -965,6 +968,10 @@ class Server:
             jr.apply(msg["entries"])
             jr.last_heard = time.monotonic()
             if msg["entries"]:
+                if self.flightrec is not None:
+                    self.flightrec.record(
+                        self.rank, "journal", len(msg["entries"]), rank
+                    )
                 self._repl(("journal", rank, msg["entries"]))
             return None
         if op == C.OP_STATS:
@@ -1127,6 +1134,10 @@ class Server:
             slot[source] = (seq, (tag, payload))
         if self._leases is not None:
             self._grant(task, source)
+        if self.flightrec is not None:
+            self.flightrec.record(
+                self.rank, "grant", source, task.type, task.attempts
+            )
         if self.tracer is not None:
             # Lineage edge: the queued unit was handed to this client;
             # the k-th grant to a rank pairs with its k-th executed unit
@@ -1202,6 +1213,8 @@ class Server:
             self.repl_stats.max_lag = lag
         if heartbeat:
             self.repl_stats.heartbeats += 1
+        if buf and self.flightrec is not None:
+            self.flightrec.record(self.rank, "repl_flush", len(buf), lag)
         if self.tracer is not None and buf:
             # Replication lag is causal state: a promotion can only
             # recover what was flushed, so the analyzer links these to
@@ -1261,6 +1274,8 @@ class Server:
             raise ServerLost(dead, reason)
         self._dead_servers.add(dead)
         self.repl_stats.server_deaths += 1
+        if self.flightrec is not None:
+            self.flightrec.record(self.rank, "server_dead", dead)
         if self.tracer is not None:
             self.tracer.instant(
                 self.rank, "adlb", "server_dead", {"rank": dead}
@@ -1294,6 +1309,8 @@ class Server:
         """Absorb the dead server's replica shard into this server."""
         rep = self._replicas.pop(dead, None) or Replica()
         self.repl_stats.promotions += 1
+        if self.flightrec is not None:
+            self.flightrec.record(self.rank, "promote", dead)
         if self.tracer is not None:
             self.tracer.instant(
                 self.rank,
@@ -1404,6 +1421,8 @@ class Server:
         nxt = dataclasses.replace(task, attempts=attempts)
         delay = self.retry_backoff * (2 ** max(0, attempts - 1))
         self.lease_stats.requeued += 1
+        if self.flightrec is not None:
+            self.flightrec.record(self.rank, "requeue", task.type, attempts)
         if self.tracer is not None:
             self.tracer.instant(
                 self.rank,
@@ -1494,6 +1513,8 @@ class Server:
         self._dead_ranks.add(rank)
         self._repl(("deadrank", rank))
         self.lease_stats.dead_ranks += 1
+        if self.flightrec is not None:
+            self.flightrec.record(self.rank, "rank_dead", rank)
         if self.tracer is not None:
             self.tracer.instant(self.rank, "adlb", "rank_dead", {"rank": rank})
         # The dead rank can never request work or ack shutdown again.
@@ -1566,6 +1587,8 @@ class Server:
         self.quarantined.append(record)
         self.quarantine_stats.quarantined += 1
         self.quarantine_stats.rank_kills += len(chain)
+        if self.flightrec is not None:
+            self.flightrec.record(self.rank, "quarantine", task.type, attempts)
         if self.tracer is not None:
             self.tracer.instant(
                 self.rank,
@@ -1626,6 +1649,10 @@ class Server:
                     rules_pending=len(rules),
                 )
             return jr.ctask_done
+        if self.flightrec is not None:
+            self.flightrec.record(
+                self.rank, "engine_adopt", rank, adopter, len(rules)
+            )
         if self.tracer is not None:
             self.tracer.instant(
                 self.rank,
@@ -1653,6 +1680,10 @@ class Server:
         expired = [l for l in self._leases.values() if l.deadline <= now]
         for lease in expired:
             self.lease_stats.expired += 1
+            if self.flightrec is not None:
+                self.flightrec.record(
+                    self.rank, "lease_expired", lease.client, lease.task.type
+                )
             if self.tracer is not None:
                 self.tracer.instant(
                     self.rank,
@@ -1854,6 +1885,8 @@ class Server:
         if self.shutting_down:
             return
         self.shutting_down = True
+        if self.flightrec is not None:
+            self.flightrec.record(self.rank, "shutdown")
         for parked in self.parked:
             tag = C.TAG_ASYNC if parked.is_async else C.TAG_RESPONSE
             payload: tuple = ("shutdown",)

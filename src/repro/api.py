@@ -187,6 +187,14 @@ def swift_run(
     ``config`` seeds all runtime options; the remaining keywords are
     overrides applied on top (``swift_run(src, config=cfg, trace=True)``).
     Unknown option names raise ``TypeError``.
+
+    The flight recorder (``RuntimeConfig.flightrec``, default True) is
+    always armed: on any failure path a black-box snapshot of every
+    rank's event ring lands on the raised exception (``e.blackbox``)
+    or on ``RunResult.blackbox`` for runs that drain past failures —
+    render it with :func:`repro.obs.render_postmortem`.  Pass
+    ``flightrec=False`` to disable, ``blackbox_dir=...`` to also dump
+    ``blackbox-*.json`` to disk.
     """
     rt = SwiftRuntime(
         workers=workers,

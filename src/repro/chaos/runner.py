@@ -78,6 +78,9 @@ class Trial:
     elapsed: float
     plan: dict  # FaultPlan.to_dict() image
     violations: list[str] = field(default_factory=list)
+    # Flight-recorder snapshot captured on the failure path (hangs,
+    # crashes, drained-with-failures runs); None for clean trials.
+    blackbox: dict | None = None
 
 
 @dataclass
@@ -274,6 +277,7 @@ def run_trial(
             detail="deadline caught a wedged run: %s" % e,
             elapsed=time.perf_counter() - t0,
             plan=plan.to_dict(),
+            blackbox=getattr(e, "blackbox", None),
         )
     except Exception as e:
         return Trial(
@@ -285,6 +289,7 @@ def run_trial(
             elapsed=time.perf_counter() - t0,
             plan=plan.to_dict(),
             violations=["crash: %s: %s" % (type(e).__name__, e)],
+            blackbox=getattr(e, "blackbox", None),
         )
     elapsed = time.perf_counter() - t0
     violations: list[str] = []
@@ -330,6 +335,7 @@ def run_trial(
         elapsed=elapsed,
         plan=plan.to_dict(),
         violations=violations,
+        blackbox=res.blackbox,
     )
 
 
@@ -456,6 +462,16 @@ def run_chaos(
                     trial.detail,
                 )
             )
+            box_path = None
+            if out_path is not None and trial.blackbox is not None:
+                box_path = out_path / (
+                    "blackbox-%s-seed%d.json" % (wl.name, trial_seed)
+                )
+                box_path.write_text(
+                    json.dumps(trial.blackbox, indent=1) + "\n"
+                )
+                report.artifacts.append(str(box_path))
+                say("  wrote black box %s (repro postmortem)" % box_path)
             if trial.outcome != "violation":
                 continue
             shrunk_plan, runs = plan, 0
@@ -502,6 +518,7 @@ def run_chaos(
                     "original_plan": plan.to_dict(),
                     "plan": shrunk_plan.to_dict(),
                     "shrink_runs": runs,
+                    "blackbox": box_path.name if box_path else None,
                 }
                 path = out_path / (
                     "repro-%s-seed%d.json" % (wl.name, trial_seed)

@@ -12,6 +12,7 @@ Usage::
     python -m repro analyze saved.trace.json
     python -m repro chaos [--trials N] [--intensity light|medium|brutal]
         [--workloads NAME ...] [--out DIR]
+    python -m repro postmortem blackbox-engine-lost-1234-1.json [--last N]
     python -m repro submit program.swift --scheduler slurm --nodes 512
 
 ``compile`` writes the generated Turbine Tcl (a ``.tic`` file, as real
@@ -26,8 +27,11 @@ per-hop stall attribution (accepts either a Swift source to run traced
 or a ``.trace.json`` saved earlier); ``chaos`` runs the randomized
 fault-injection campaign of :mod:`repro.chaos` (every ``run``-style
 command also accepts ``--audit`` for run-invariant checking and
-``--fault-plan`` to replay a chaos repro artifact); ``submit`` renders
-the batch submission script for a real machine.
+``--fault-plan`` to replay a chaos repro artifact); ``postmortem``
+merges the per-rank flight-recorder rings of a ``blackbox-*.json``
+failure artifact into one causally-ordered cross-rank timeline (every
+``run``-style command dumps one on failure unless ``--no-flightrec``);
+``submit`` renders the batch submission script for a real machine.
 """
 
 from __future__ import annotations
@@ -167,6 +171,21 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
         help="inject faults from a FaultPlan JSON (a chaos repro "
         "artifact or a bare plan image) — replays a chaos trial",
     )
+    p.add_argument(
+        "--no-flightrec",
+        dest="flightrec",
+        action="store_false",
+        default=True,
+        help="disable the always-on flight recorder (no black-box "
+        "artifact on failure)",
+    )
+    p.add_argument(
+        "--blackbox-dir",
+        default=".",
+        metavar="DIR",
+        help="where to dump blackbox-*.json on failure (default: "
+        "current directory; needs the flight recorder on)",
+    )
 
 
 def _runtime_config(
@@ -204,8 +223,24 @@ def _runtime_config(
         restore=ns.restore,
         audit=ns.audit,
         faults=faults,
+        flightrec=ns.flightrec,
+        blackbox_dir=ns.blackbox_dir if ns.flightrec else None,
         args=_parse_args_list(ns.arg),
     )
+
+
+def _report_run_failure(e) -> int:
+    """Print a failed run's diagnostic plus, when the flight recorder
+    dumped a black box, the `repro postmortem` pointer."""
+    print("run failed: %s" % e, file=sys.stderr)
+    path = getattr(e, "blackbox_path", None)
+    if path:
+        print(
+            "black box written to %s (inspect with `repro postmortem %s`)"
+            % (path, path),
+            file=sys.stderr,
+        )
+    return 3
 
 
 def _report_failures(result) -> int:
@@ -420,6 +455,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered workloads and exit",
     )
 
+    p_post = sub.add_parser(
+        "postmortem",
+        help="cross-rank failure forensics over a blackbox-*.json "
+        "flight-recorder artifact",
+    )
+    p_post.add_argument(
+        "blackbox", help="a blackbox-*.json written on a failed run"
+    )
+    p_post.add_argument(
+        "--last",
+        type=int,
+        default=12,
+        metavar="N",
+        help="events per rank in the merged timeline (default 12)",
+    )
+
     p_submit = sub.add_parser(
         "submit", help="render a batch submission script"
     )
@@ -476,8 +527,7 @@ def _dispatch(ns: argparse.Namespace) -> int:
         try:
             result = rt.run(source)
         except (RankFailure, TaskError, DeadlineExceeded, EngineLost) as e:
-            print("run failed: %s" % e, file=sys.stderr)
-            return 3
+            return _report_run_failure(e)
         if ns.command == "run":
             if traced:
                 print(result.profile.render(), file=sys.stderr)
@@ -516,8 +566,7 @@ def _dispatch(ns: argparse.Namespace) -> int:
             try:
                 result = rt.run(source)
             except (RankFailure, TaskError, DeadlineExceeded, EngineLost) as e:
-                print("run failed: %s" % e, file=sys.stderr)
-                return 3
+                return _report_run_failure(e)
             trace = result.trace
         analysis = Analysis.from_trace(trace)
         print(analysis.render())
@@ -543,8 +592,7 @@ def _dispatch(ns: argparse.Namespace) -> int:
         try:
             result = run_turbine_program(program, config)
         except (RankFailure, TaskError, DeadlineExceeded, EngineLost) as e:
-            print("run failed: %s" % e, file=sys.stderr)
-            return 3
+            return _report_run_failure(e)
         if ns.trace:
             print(result.profile.render(), file=sys.stderr)
         return _report_failures(result) or _report_audit(result)
@@ -577,6 +625,17 @@ def _dispatch(ns: argparse.Namespace) -> int:
         )
         print(report.render())
         return 0 if report.ok else 5
+
+    if ns.command == "postmortem":
+        from .obs.postmortem import load_blackbox, render_postmortem
+
+        try:
+            box = load_blackbox(ns.blackbox)
+        except ValueError as e:
+            print("postmortem: %s" % e, file=sys.stderr)
+            return 2
+        print(render_postmortem(box, last=ns.last))
+        return 0
 
     if ns.command == "submit":
         spec = JobSpec(

@@ -42,6 +42,23 @@ def snippet(payload: object, limit: int = 200) -> str:
 # --------------------------------------------------------------- failures
 
 
+class BlackboxCarrier:
+    """Mixin for failures that can carry a flight-recorder black box.
+
+    The launcher (and the Turbine runtime when it unwraps rank
+    failures) stamps two attributes onto the surfaced exception:
+    ``blackbox`` is the captured artifact dict (see
+    :mod:`repro.obs.flightrec`) and ``blackbox_path`` the path it was
+    written to, when the run configured a dump directory.  Both stay
+    ``None`` on runs with the recorder disabled.
+    """
+
+    #: Flight-recorder black box captured at failure time (dict), or None.
+    blackbox: dict | None = None
+    #: Where the black box was written (``blackbox-*.json``), or None.
+    blackbox_path: str | None = None
+
+
 @dataclass
 class TaskFailure:
     """Record of one failed unit of work.
@@ -60,7 +77,7 @@ class TaskFailure:
     traceback: str = ""
 
 
-class TaskError(RuntimeError):
+class TaskError(BlackboxCarrier, RuntimeError):
     """A unit of work failed permanently (fail-fast, or retries exhausted).
 
     Carries the :class:`TaskFailure`; the message embeds the original
@@ -105,7 +122,7 @@ class RankKilled(Exception):
         )
 
 
-class DeadlineExceeded(RuntimeError):
+class DeadlineExceeded(BlackboxCarrier, RuntimeError):
     """The run's wall-clock deadline expired before completion."""
 
 
@@ -120,7 +137,7 @@ class TaskTimeout(RuntimeError):
     """
 
 
-class ServerLost(RuntimeError):
+class ServerLost(BlackboxCarrier, RuntimeError):
     """An ADLB server rank died and replication was not enabled.
 
     The dead server took its data-store shard, work queue, and (if it
@@ -141,7 +158,7 @@ class ServerLost(RuntimeError):
         )
 
 
-class EngineLost(RuntimeError):
+class EngineLost(BlackboxCarrier, RuntimeError):
     """A Turbine engine rank died and rule-table journaling was off.
 
     The dead engine took its pending dataflow rules with it, so the

@@ -3,8 +3,13 @@
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
+
+from ..obs.flightrec import _SLOT_POOL
+
+_pc = time.perf_counter
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -70,15 +75,18 @@ class _Mailbox:
     def __init__(self) -> None:
         self.lock = threading.Lock()
         self.cond = threading.Condition(self.lock)
-        self.messages: list[tuple[int, int, Any]] = []  # (source, tag, payload)
+        # (source, tag, payload, clock) — the clock is the sender's
+        # Lamport stamp piggybacked for the flight recorder (0 when the
+        # recorder is off).
+        self.messages: list[tuple[int, int, Any, int]] = []
 
-    def put(self, source: int, tag: int, payload: Any) -> None:
+    def put(self, source: int, tag: int, payload: Any, clock: int = 0) -> None:
         with self.cond:
-            self.messages.append((source, tag, payload))
+            self.messages.append((source, tag, payload, clock))
             self.cond.notify_all()
 
     def _match(self, source: int, tag: int) -> int:
-        for i, (src, t, _) in enumerate(self.messages):
+        for i, (src, t, _, _) in enumerate(self.messages):
             if (source == ANY_SOURCE or src == source) and (
                 tag == ANY_TAG or t == tag
             ):
@@ -91,7 +99,7 @@ class _Mailbox:
         tag: int,
         timeout: float | None,
         aborted: threading.Event,
-    ) -> tuple[Any, Status]:
+    ) -> tuple[Any, Status, int]:
         import time as _time
 
         deadline = None if timeout is None else _time.monotonic() + timeout
@@ -101,8 +109,8 @@ class _Mailbox:
                     raise AbortError("world aborted during recv")
                 i = self._match(source, tag)
                 if i >= 0:
-                    src, t, payload = self.messages.pop(i)
-                    return payload, Status(src, t)
+                    src, t, payload, clock = self.messages.pop(i)
+                    return payload, Status(src, t), clock
                 if deadline is None:
                     wait_t = 0.25
                 else:
@@ -118,7 +126,7 @@ class _Mailbox:
             i = self._match(source, tag)
             if i < 0:
                 return None
-            src, t, _ = self.messages[i]
+            src, t, _, _ = self.messages[i]
             return Status(src, t)
 
 
@@ -128,9 +136,12 @@ class World:
     ``tracer`` is an optional :class:`repro.obs.Tracer`; when set, every
     Comm records send instants and recv-wait spans into it (category
     ``mpi``).  ``faults`` is an optional :class:`repro.faults.FaultState`
-    whose message rules can drop or delay sends.  When either is
-    ``None`` — the default — the instrumentation is a single pointer
-    test per call.
+    whose message rules can drop or delay sends.  ``flightrec`` is an
+    optional :class:`repro.obs.FlightRecorder`; when set, every send
+    and recv lands a header event in the rank's black-box ring and the
+    sender's Lamport clock rides the message envelope.  When any is
+    ``None`` — the default for tracer/faults — the instrumentation is a
+    single pointer test per call.
     """
 
     def __init__(
@@ -139,6 +150,7 @@ class World:
         recv_timeout: float | None = 120.0,
         tracer: Any | None = None,
         faults: Any | None = None,
+        flightrec: Any | None = None,
     ):
         if size < 1:
             raise ValueError("world size must be >= 1")
@@ -146,6 +158,7 @@ class World:
         self.recv_timeout = recv_timeout
         self.tracer = tracer
         self.faults = faults
+        self.flightrec = flightrec
         self.mailboxes = [_Mailbox() for _ in range(size)]
         self.stats = [CommStats() for _ in range(size)]
         self.aborted = threading.Event()
@@ -181,6 +194,22 @@ class Comm:
             raise ValueError("rank %d out of range" % rank)
         self.world = world
         self.rank = rank
+        # Flight-recorder fast path: this rank's ring plus the two
+        # recorder constants, cached flat on the Comm so send/recv can
+        # stamp slots inline.  The stamp runs once per message on every
+        # rank, and at that volume the FlightRecorder method call is
+        # the dominant cost — inlining it is what keeps the recorder
+        # inside its 1.05x end-to-end budget
+        # (bench_obs_overhead.test_flightrec_overhead_guard).
+        fr = world.flightrec
+        if fr is not None:
+            self._fr_ring = fr._rings[rank]
+            self._fr_cap = fr.capacity
+            self._fr_epoch = fr.epoch
+        else:
+            self._fr_ring = None
+            self._fr_cap = 0
+            self._fr_epoch = 0.0
 
     @property
     def size(self) -> int:
@@ -204,6 +233,31 @@ class Comm:
                 _time.sleep(directive[1])
         size = self.world.stats[self.rank].add_send(obj)
         mailbox = self.world.mailboxes[dest]
+        ring = self._fr_ring
+        if ring is None:
+            clock = 0
+        else:
+            # Inlined FlightRecorder.note_send (see __init__ note).
+            clock = ring.clock + 1
+            ring.clock = clock
+            i = ring.idx
+            slots = ring.slots
+            if i == len(slots):
+                try:
+                    slot = _SLOT_POOL.pop()
+                except IndexError:
+                    slot = [0, 0.0, "", 0, 0, 0]
+                slots.append(slot)
+            else:
+                slot = slots[i]
+            slot[0] = clock
+            slot[1] = _pc() - self._fr_epoch
+            slot[2] = "send"
+            slot[3] = dest
+            slot[4] = tag
+            slot[5] = size
+            ring.idx = 0 if i + 1 == self._fr_cap else i + 1
+            ring.emitted += 1
         tracer = self.world.tracer
         if tracer is not None:
             # racy read of the destination queue depth — fine for tracing
@@ -216,9 +270,10 @@ class Comm:
                     "tag": tag,
                     "bytes": size,
                     "qdepth": len(mailbox.messages),
+                    "lam": clock,
                 },
             )
-        mailbox.put(self.rank, tag, obj)
+        mailbox.put(self.rank, tag, obj, clock)
 
     def recv(
         self,
@@ -231,25 +286,55 @@ class Comm:
         tracer = self.world.tracer
         try:
             if tracer is None:
-                obj, status = self.world.mailboxes[self.rank].get(
+                obj, status, clock = self.world.mailboxes[self.rank].get(
                     source, tag, timeout, self.world.aborted
                 )
             else:
                 t0 = tracer.now()
-                obj, status = self.world.mailboxes[self.rank].get(
+                obj, status, clock = self.world.mailboxes[self.rank].get(
                     source, tag, timeout, self.world.aborted
                 )
         except DeadlockError:
             raise DeadlockError(
                 self._hang_report(source, tag, timeout)
             ) from None
+        ring = self._fr_ring
+        if ring is not None:
+            # Inlined FlightRecorder.note_recv (see __init__ note).
+            lam = ring.clock
+            if clock > lam:
+                lam = clock
+            lam += 1
+            ring.clock = lam
+            i = ring.idx
+            slots = ring.slots
+            if i == len(slots):
+                try:
+                    slot = _SLOT_POOL.pop()
+                except IndexError:
+                    slot = [0, 0.0, "", 0, 0, 0]
+                slots.append(slot)
+            else:
+                slot = slots[i]
+            slot[0] = lam
+            slot[1] = _pc() - self._fr_epoch
+            slot[2] = "recv"
+            slot[3] = status.source
+            slot[4] = status.tag
+            slot[5] = clock
+            ring.idx = 0 if i + 1 == self._fr_cap else i + 1
+            ring.emitted += 1
         if tracer is not None:
             tracer.complete(
                 self.rank,
                 "mpi",
                 "recv",
                 t0,
-                payload={"source": status.source, "tag": status.tag},
+                payload={
+                    "source": status.source,
+                    "tag": status.tag,
+                    "lam": clock,
+                },
             )
         self.world.stats[self.rank].recvs += 1
         return obj, status
@@ -299,7 +384,13 @@ class Comm:
         with mb.cond:
             pending = mb.messages
             mb.messages = []
-        return [(payload, Status(src, tag)) for src, tag, payload in pending]
+        flightrec = self.world.flightrec
+        if flightrec is not None:
+            # The scavenger inherits the causal history of the messages
+            # it adopts: merge each piggybacked clock as a recv.
+            for src, tag, _, clock in pending:
+                flightrec.note_recv(self.rank, src, tag, clock)
+        return [(payload, Status(src, tag)) for src, tag, payload, _ in pending]
 
     def recv_poll(
         self,
@@ -311,18 +402,48 @@ class Comm:
         tracer = self.world.tracer
         t0 = tracer.now() if tracer is not None else 0.0
         try:
-            obj, status = self.world.mailboxes[self.rank].get(
+            obj, status, clock = self.world.mailboxes[self.rank].get(
                 source, tag, timeout, self.world.aborted
             )
         except DeadlockError:
             return None
+        ring = self._fr_ring
+        if ring is not None:
+            # Inlined FlightRecorder.note_recv (see __init__ note).
+            lam = ring.clock
+            if clock > lam:
+                lam = clock
+            lam += 1
+            ring.clock = lam
+            i = ring.idx
+            slots = ring.slots
+            if i == len(slots):
+                try:
+                    slot = _SLOT_POOL.pop()
+                except IndexError:
+                    slot = [0, 0.0, "", 0, 0, 0]
+                slots.append(slot)
+            else:
+                slot = slots[i]
+            slot[0] = lam
+            slot[1] = _pc() - self._fr_epoch
+            slot[2] = "recv"
+            slot[3] = status.source
+            slot[4] = status.tag
+            slot[5] = clock
+            ring.idx = 0 if i + 1 == self._fr_cap else i + 1
+            ring.emitted += 1
         if tracer is not None:
             tracer.complete(
                 self.rank,
                 "mpi",
                 "recv",
                 t0,
-                payload={"source": status.source, "tag": status.tag},
+                payload={
+                    "source": status.source,
+                    "tag": status.tag,
+                    "lam": clock,
+                },
             )
         self.world.stats[self.rank].recvs += 1
         return obj, status

@@ -40,7 +40,12 @@ class RankFailure(RuntimeError):
     The message names every failed rank (with its role when the
     launcher was given ``rank_labels``) and attaches each failure's
     formatted traceback, so a run is debuggable from the message alone.
+    When the run kept a flight recorder, ``blackbox`` holds the
+    captured black-box dict (see :mod:`repro.obs.flightrec`).
     """
+
+    #: Flight-recorder black box captured at failure time (dict), or None.
+    blackbox: dict | None = None
 
     def __init__(
         self,
@@ -59,6 +64,38 @@ class RankFailure(RuntimeError):
         super().__init__(summary + "\n" + details)
 
 
+def _capture_blackbox(
+    world: World,
+    threads: Sequence[threading.Thread],
+    rank_labels: Sequence[str] | None,
+    reason: str,
+    detail: str,
+    failed_ranks: Sequence[int],
+) -> dict | None:
+    """Snapshot the flight-recorder rings plus live-rank stacks and
+    registered server diagnostics at the moment of failure."""
+    flightrec = world.flightrec
+    if flightrec is None:
+        return None
+    stacks = {
+        r: _thread_stack(t) for r, t in enumerate(threads) if t.is_alive()
+    }
+    diagnostics = {}
+    for rank in sorted(world.diagnostics):
+        try:
+            diagnostics[rank] = world.diagnostics[rank]()
+        except Exception as e:  # a broken callback must not mask the failure
+            diagnostics[rank] = "<diagnostic failed: %s>" % e
+    return flightrec.blackbox(
+        reason=reason,
+        detail=detail,
+        roles=list(rank_labels) if rank_labels is not None else None,
+        stacks=stacks,
+        diagnostics=diagnostics,
+        failed_ranks=list(failed_ranks),
+    )
+
+
 def run_world(
     size: int,
     main: Callable[[Comm], Any],
@@ -66,6 +103,7 @@ def run_world(
     join_timeout: float | None = 300.0,
     tracer: Any | None = None,
     faults: Any | None = None,
+    flightrec: Any | None = None,
     rank_labels: Sequence[str] | None = None,
     deadline: float | None = None,
     shutdown_grace: float = 10.0,
@@ -79,14 +117,24 @@ def run_world(
     ``tracer`` (a :class:`repro.obs.Tracer`) enables MPI-layer tracing;
     per-rank traffic counters are folded into its metrics on exit.
     ``faults`` (a :class:`repro.faults.FaultState`) enables
-    message-level fault injection.  ``rank_labels`` names each rank's
-    role in failure reports.  ``deadline`` is a wall-clock limit for
-    the whole run: on expiry the world is aborted — an orderly shutdown
-    that wakes every blocked receiver — and :class:`DeadlineExceeded`
-    is raised naming any rank that failed to unwind within
+    message-level fault injection.  ``flightrec`` (a
+    :class:`repro.obs.FlightRecorder`) keeps the always-on black-box
+    rings; on any failure raised here the rings, stuck-rank stacks, and
+    registered diagnostics are snapshotted onto the exception as its
+    ``blackbox`` attribute.  ``rank_labels`` names each rank's role in
+    failure reports.  ``deadline`` is a wall-clock limit for the whole
+    run: on expiry the world is aborted — an orderly shutdown that
+    wakes every blocked receiver — and :class:`DeadlineExceeded` is
+    raised naming any rank that failed to unwind within
     ``shutdown_grace`` seconds.
     """
-    world = World(size, recv_timeout=recv_timeout, tracer=tracer, faults=faults)
+    world = World(
+        size,
+        recv_timeout=recv_timeout,
+        tracer=tracer,
+        faults=faults,
+        flightrec=flightrec,
+    )
     results: list[Any] = [None] * size
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
@@ -153,10 +201,14 @@ def run_world(
             )
         else:
             detail = "all ranks unwound cleanly after the abort"
-        raise DeadlineExceeded(
+        exc: BaseException = DeadlineExceeded(
             "run exceeded its %.1fs deadline and was shut down; %s"
             % (deadline, detail)
         )
+        exc.blackbox = _capture_blackbox(
+            world, threads, rank_labels, "DeadlineExceeded", str(exc), stuck
+        )
+        raise exc
     if stuck:
         # The join timed out and the grace period did not reap the
         # threads: report exactly which ranks are stuck and where.
@@ -175,7 +227,27 @@ def run_world(
                     ),
                 )
             )
-        raise RankFailure(sorted(primary + entries, key=lambda p: p[0]), rank_labels)
+        all_failures = sorted(primary + entries, key=lambda p: p[0])
+        exc = RankFailure(all_failures, rank_labels)
+        exc.blackbox = _capture_blackbox(
+            world,
+            threads,
+            rank_labels,
+            "RankFailure",
+            str(exc).splitlines()[0],
+            [r for r, _ in all_failures],
+        )
+        raise exc
     if recorded:
-        raise RankFailure(primary or recorded, rank_labels)
+        blamed = primary or recorded
+        exc = RankFailure(blamed, rank_labels)
+        exc.blackbox = _capture_blackbox(
+            world,
+            threads,
+            rank_labels,
+            type(blamed[0][1]).__name__,
+            str(exc).splitlines()[0],
+            [r for r, _ in blamed],
+        )
+        raise exc
     return results

@@ -48,11 +48,19 @@ Tracing is off by default and zero-cost when off: call sites test a
 (``swift_run(..., monitor=True)`` / ``repro run --monitor``) is
 independent of tracing and costs one status dict per server per
 interval.
+
+Complementary to (and independent of) tracing, the *flight recorder*
+(:class:`FlightRecorder`, :mod:`repro.obs.flightrec`) is ON by default:
+bounded per-rank rings of Lamport-stamped lifecycle events that are
+snapshotted into a ``blackbox-*.json`` artifact on any failure path and
+replayed offline by ``repro postmortem`` (:mod:`repro.obs.postmortem`).
 """
 
 from .analyze import Analysis, Hop, Unit
+from .flightrec import FlightRecorder, write_blackbox
 from .metrics import HistogramSummary, Metrics
 from .monitor import MonitorSample, RunMonitor
+from .postmortem import load_blackbox, render_postmortem
 from .report import Profile, WorkerUtilization
 from .trace import RANK_DRIVER, CategoryTotal, Trace, TraceEvent, Tracer
 
@@ -70,5 +78,9 @@ __all__ = [
     "Unit",
     "MonitorSample",
     "RunMonitor",
+    "FlightRecorder",
+    "write_blackbox",
+    "load_blackbox",
+    "render_postmortem",
     "RANK_DRIVER",
 ]

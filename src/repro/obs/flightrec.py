@@ -1,0 +1,283 @@
+"""The always-on flight recorder: bounded per-rank rings + Lamport clocks.
+
+Tracing (:class:`repro.obs.Tracer`) is opt-in and off by default, so an
+untraced run that dies leaves almost no evidence.  The flight recorder
+is the complementary black box: every run keeps a small, fixed-size
+ring of lifecycle events per rank — message send/recv headers (never
+payloads), task grant/start/finish/fail, rule create/fire,
+lease/journal/replication transitions, refcount-flush markers — and on
+any failure path the launcher snapshots the rings, the stuck ranks'
+stacks, and the registered server diagnostics into one
+``blackbox-*.json`` artifact that ``repro postmortem`` can replay.
+
+Cost discipline: each ring slot is allocated the first time it is
+reached and mutated in place forever after, so the warm hot path
+allocates nothing — a handful of index assignments and a
+``perf_counter`` read per event — and recorder construction costs
+nothing up front.  The per-message send/recv stamps are additionally
+inlined into ``mpi.comm`` (see the note there) so the steady-state
+cost per message is bytecode only, no method call.
+Each rank's ring is written only by that rank's thread (the worker
+watchdog's failure oneway is the lone, benign exception), so there are
+no locks.  When the recorder is disabled every instrumented call site
+degrades to a single ``is None`` pointer test, same as ``tracer`` and
+``faults``.
+
+Causal order comes from Lamport clocks: every recorded event advances
+the rank's logical clock, every ``mpi.comm`` send piggybacks the
+sender's clock on the message envelope, and every recv merges it
+(``clock = max(local, seen)``) before recording.  Sorting the merged
+rings by ``(lamport, t, rank)`` therefore never places a receive before
+its send, which is what lets the post-mortem walk cross-rank edges.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from typing import Any
+
+_clock = time.perf_counter
+
+#: Artifact schema tag; bump when the envelope layout changes.
+BLACKBOX_FORMAT = "repro-blackbox-v1"
+
+#: Field order of one encoded ring slot (see :meth:`FlightRecorder.snapshot`).
+EVENT_FIELDS = ("lam", "t", "kind", "a", "b", "c")
+
+_DUMP_SEQ = itertools.count(1)
+
+# Recycled slot lists.  Rings grow by popping here instead of
+# allocating, and a run that shuts down cleanly returns its slots via
+# FlightRecorder.release().  Reuse keeps the recorder's per-run GC
+# allocation delta at zero: a few hundred fresh container allocations
+# per run would shift the collector's cadence so collections land
+# inside recorder-on runs, which bench_obs_overhead then reads as
+# phantom overhead.  list.append/pop are atomic under the GIL, so rank
+# threads may grow rings concurrently without a lock; the cap keeps a
+# pathological flightrec_capacity from pinning memory forever.
+_SLOT_POOL: list[list] = []
+_SLOT_POOL_MAX = 1 << 14
+
+
+class _RankRing:
+    """One rank's event ring.  Single-writer, lock-free.
+
+    Slots are allocated on first use (``idx == len(slots)`` while the
+    ring is still growing toward capacity) and then mutated in place
+    forever — a wrap overwrites the oldest event.  Growing lazily
+    instead of preallocating ``capacity`` lists up front keeps recorder
+    construction off the per-run critical path: a short run pays only
+    for the slots it actually stamps.
+    """
+
+    __slots__ = ("slots", "idx", "emitted", "clock")
+
+    def __init__(self, capacity: int):
+        self.slots: list[list] = []
+        self.idx = 0
+        self.emitted = 0
+        self.clock = 0
+
+
+class FlightRecorder:
+    """Per-rank rings of curated lifecycle events, always on by default.
+
+    ``record(rank, kind, a, b, c)`` is the single hot-path entry: it
+    advances the rank's Lamport clock, stamps the next preallocated
+    slot, and returns the new clock value.  ``a``/``b``/``c`` are small
+    ints or short strings whose meaning depends on ``kind`` (documented
+    in :mod:`repro.obs.postmortem`); payloads are never captured.
+    """
+
+    __slots__ = ("size", "capacity", "epoch", "_rings")
+
+    def __init__(self, size: int, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.size = size
+        self.capacity = capacity
+        self.epoch = _clock()
+        self._rings = [_RankRing(capacity) for _ in range(size)]
+
+    # ------------------------------------------------------------ recording
+
+    def record(self, rank: int, kind: str, a: Any = 0, b: Any = 0, c: Any = 0) -> int:
+        ring = self._rings[rank]
+        clock = ring.clock + 1
+        ring.clock = clock
+        i = ring.idx
+        slots = ring.slots
+        if i == len(slots):
+            try:
+                slot = _SLOT_POOL.pop()
+            except IndexError:
+                slot = [0, 0.0, "", 0, 0, 0]
+            slots.append(slot)
+        else:
+            slot = slots[i]
+        slot[0] = clock
+        slot[1] = _clock() - self.epoch
+        slot[2] = kind
+        slot[3] = a
+        slot[4] = b
+        slot[5] = c
+        ring.idx = 0 if i + 1 == self.capacity else i + 1
+        ring.emitted += 1
+        return clock
+
+    # note_send/note_recv duplicate record()'s body instead of
+    # delegating: they run once per message on every rank, and the
+    # saved call keeps the recorder inside its 1.05x end-to-end budget
+    # (bench_obs_overhead.test_flightrec_overhead_guard).
+
+    def note_send(self, rank: int, dest: int, tag: int, size: int) -> int:
+        """Record a send header; the returned clock rides the envelope."""
+        ring = self._rings[rank]
+        clock = ring.clock + 1
+        ring.clock = clock
+        i = ring.idx
+        slots = ring.slots
+        if i == len(slots):
+            try:
+                slot = _SLOT_POOL.pop()
+            except IndexError:
+                slot = [0, 0.0, "", 0, 0, 0]
+            slots.append(slot)
+        else:
+            slot = slots[i]
+        slot[0] = clock
+        slot[1] = _clock() - self.epoch
+        slot[2] = "send"
+        slot[3] = dest
+        slot[4] = tag
+        slot[5] = size
+        ring.idx = 0 if i + 1 == self.capacity else i + 1
+        ring.emitted += 1
+        return clock
+
+    def note_recv(self, rank: int, source: int, tag: int, seen: int) -> int:
+        """Merge the sender's piggybacked clock, then record the recv."""
+        ring = self._rings[rank]
+        clock = ring.clock
+        if seen > clock:
+            clock = seen
+        clock += 1
+        ring.clock = clock
+        i = ring.idx
+        slots = ring.slots
+        if i == len(slots):
+            try:
+                slot = _SLOT_POOL.pop()
+            except IndexError:
+                slot = [0, 0.0, "", 0, 0, 0]
+            slots.append(slot)
+        else:
+            slot = slots[i]
+        slot[0] = clock
+        slot[1] = _clock() - self.epoch
+        slot[2] = "recv"
+        slot[3] = source
+        slot[4] = tag
+        slot[5] = seen
+        ring.idx = 0 if i + 1 == self.capacity else i + 1
+        ring.emitted += 1
+        return clock
+
+    def clock(self, rank: int) -> int:
+        return self._rings[rank].clock
+
+    def release(self) -> None:
+        """Return every ring's slots to the reuse pool.
+
+        Only call when no rank thread can stamp again — the launcher's
+        clean-shutdown path, after every rank joined (and after any
+        final snapshot, which copies the rows it keeps).  Failed runs
+        skip release on purpose: an abandoned rank thread may still be
+        alive, and it must never write into slots a later run owns.
+        """
+        pool = _SLOT_POOL
+        for ring in self._rings:
+            slots = ring.slots
+            ring.slots = []
+            ring.idx = 0
+            if len(pool) + len(slots) <= _SLOT_POOL_MAX:
+                pool.extend(slots)
+
+    # ------------------------------------------------------------ snapshots
+
+    def snapshot(self) -> list[dict]:
+        """Decode every ring, oldest event first.
+
+        Returns one dict per rank: ``events`` is a list of
+        ``[lam, t, kind, a, b, c]`` rows (see :data:`EVENT_FIELDS`),
+        ``dropped`` counts events lost to ring wrap, ``clock`` is the
+        rank's final Lamport clock.
+        """
+        out = []
+        for ring in self._rings:
+            # len(slots) rather than capacity: a growing ring has only
+            # as many slots as events, and a released ring has none.
+            n = min(ring.emitted, len(ring.slots))
+            start = ring.idx - n
+            events = []
+            for k in range(n):
+                slot = ring.slots[(start + k) % self.capacity]
+                events.append(list(slot))
+            out.append(
+                {
+                    "events": events,
+                    "dropped": ring.emitted - n,
+                    "clock": ring.clock,
+                }
+            )
+        return out
+
+    def blackbox(
+        self,
+        reason: str,
+        detail: str = "",
+        roles: list[str] | None = None,
+        stacks: dict[int, str] | None = None,
+        diagnostics: dict[int, str] | None = None,
+        failed_ranks: list[int] | None = None,
+    ) -> dict:
+        """Assemble the black-box artifact around a ring snapshot.
+
+        ``reason`` names the failure class (exception type or
+        ``"quarantine"``), ``stacks`` holds the Python stacks of ranks
+        still alive at capture time, ``diagnostics`` the one-line state
+        summaries of registered servers, ``failed_ranks`` the ranks the
+        launcher blamed.  The dict is JSON-serializable as-is.
+        """
+        return {
+            "format": BLACKBOX_FORMAT,
+            "reason": reason,
+            "detail": detail,
+            "size": self.size,
+            "capacity": self.capacity,
+            "roles": list(roles) if roles is not None else None,
+            "failed_ranks": sorted(failed_ranks or []),
+            "stacks": {str(r): s for r, s in (stacks or {}).items()},
+            "diagnostics": {str(r): d for r, d in (diagnostics or {}).items()},
+            "rings": self.snapshot(),
+        }
+
+
+def write_blackbox(box: dict, out_dir: str, stem: str | None = None) -> str:
+    """Write a black-box dict to ``out_dir/blackbox-<stem>-<n>.json``.
+
+    The sequence number keeps repeated failures in one process from
+    clobbering each other; the path is returned for reporting.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    label = (stem or box.get("reason", "failure")).lower().replace(" ", "-")
+    path = os.path.join(
+        out_dir, "blackbox-%s-%d-%d.json" % (label, os.getpid(), next(_DUMP_SEQ))
+    )
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(box, f, indent=1)
+        f.write("\n")
+    return path

@@ -10,8 +10,14 @@ Chrome export.
 
 from __future__ import annotations
 
+import random
 import threading
 from dataclasses import dataclass, field
+
+#: Bounded sample pool per histogram; beyond this, reservoir sampling
+#: (Algorithm R with a fixed-seed RNG, so summaries are reproducible)
+#: keeps a uniform subset for the percentile estimates.
+RESERVOIR_SIZE = 512
 
 
 @dataclass
@@ -20,6 +26,12 @@ class HistogramSummary:
     total: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
+    _samples: list = field(default_factory=list, repr=False, compare=False)
+    _rng: random.Random = field(
+        default_factory=lambda: random.Random(0x5EED),
+        repr=False,
+        compare=False,
+    )
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -28,20 +40,47 @@ class HistogramSummary:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._samples) < RESERVOIR_SIZE:
+            self._samples.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < RESERVOIR_SIZE:
+                self._samples[j] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]) over the
+        retained reservoir — exact until the pool overflows."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        k = max(0, min(len(ordered) - 1, int(round(p / 100.0 * len(ordered))) - 1))
+        return ordered[k] if p > 0 else ordered[0]
+
     def as_dict(self) -> dict:
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0,
+                "total": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+            }
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
 

@@ -15,6 +15,55 @@ from .trace import CategoryTotal, Trace
 #: span category emitted by workers around each leaf task
 TASK = "task"
 
+#: histogram names fed by :func:`feed_latency_histograms`
+HIST_TASK_LATENCY = "task.latency_s"
+HIST_QUEUE_WAIT = "adlb.queue_wait_s"
+HIST_DISPATCH = "adlb.dispatch_s"
+
+
+def feed_latency_histograms(tracer, since: float = 0.0) -> None:
+    """Derive latency histograms from a run's trace events.
+
+    Observes three distributions into ``tracer.metrics`` so
+    :meth:`Profile.render` can show percentiles:
+
+    * ``task.latency_s`` — duration of each leaf-task span;
+    * ``adlb.queue_wait_s`` — accept-to-grant time of each queued unit
+      (prov ``task``/``grant`` instants matched by uid);
+    * ``adlb.dispatch_s`` — grant-to-start delay, pairing the k-th
+      grant to a client with its k-th task span (one outstanding task
+      per client, the same alignment invariant ``repro analyze`` uses).
+
+    ``since`` is the tracer-relative start of the run being folded, so
+    session tracers never re-observe a previous run's events.  Pairing
+    degrades gracefully when the trace ring dropped early events.
+    """
+    metrics = tracer.metrics
+    accepted_at: dict[int, float] = {}
+    grants_by_client: dict[int, list[float]] = {}
+    spans_by_rank: dict[int, list[float]] = {}
+    for e in tracer.events(since=since):
+        payload = e.payload
+        if e.category == "prov" and payload is not None:
+            if e.name == "task":
+                uid = payload.get("uid")
+                if uid is not None:
+                    accepted_at[uid] = e.t
+            elif e.name == "grant":
+                t_in = accepted_at.pop(payload.get("uid"), None)
+                if t_in is not None:
+                    metrics.observe(HIST_QUEUE_WAIT, e.t - t_in)
+                client = payload.get("client")
+                if client is not None:
+                    grants_by_client.setdefault(client, []).append(e.t)
+        elif e.category == TASK and e.dur > 0.0:
+            metrics.observe(HIST_TASK_LATENCY, e.dur)
+            spans_by_rank.setdefault(e.rank, []).append(e.t)
+    for rank, starts in spans_by_rank.items():
+        for granted, started in zip(grants_by_client.get(rank, ()), starts):
+            if started >= granted:
+                metrics.observe(HIST_DISPATCH, started - granted)
+
 
 @dataclass
 class WorkerUtilization:
@@ -105,6 +154,29 @@ class Profile:
                     % (w.rank, w.tasks, w.busy, 100 * w.utilization, bar)
                 )
             lines.append("  mean utilization: %.1f%%" % (100 * self.efficiency))
+        hists = self.trace.metrics.get("histograms", {})
+        populated = [
+            (name, h) for name, h in sorted(hists.items()) if h.get("count")
+        ]
+        if populated:
+            lines.append("")
+            lines.append("latency percentiles:")
+            lines.append(
+                "  %-24s %8s %10s %10s %10s %10s"
+                % ("histogram", "n", "p50(s)", "p95(s)", "p99(s)", "max(s)")
+            )
+            for name, h in populated:
+                lines.append(
+                    "  %-24s %8d %10.6f %10.6f %10.6f %10.6f"
+                    % (
+                        name,
+                        h["count"],
+                        h.get("p50", 0.0),
+                        h.get("p95", 0.0),
+                        h.get("p99", 0.0),
+                        h["max"],
+                    )
+                )
         counters = self.trace.metrics.get("counters", {})
         headline = [
             (name, counters[name])

@@ -108,6 +108,17 @@ class Tracer:
         """Events discarded because the ring buffer wrapped."""
         return self._emitted - len(self._events)
 
+    def events(self, since: float = 0.0) -> list[TraceEvent]:
+        """Time-ordered snapshot of the retained events.
+
+        ``since`` filters to events starting at or after that tracer
+        timestamp — session tracers span several runs, and post-run
+        passes (latency histograms) must only consume their own run.
+        """
+        return sorted(
+            (e for e in self._events if e.t >= since), key=lambda e: e.t
+        )
+
     def freeze(self, meta: dict | None = None) -> "Trace":
         """Snapshot current events + metrics as an immutable Trace."""
         events = sorted(self._events, key=lambda e: e.t)
@@ -195,6 +206,53 @@ class Trace:
 
     # ------------------------------------------------------------- export
 
+    def _message_flows(self) -> tuple[dict[int, int], dict[int, int]]:
+        """Pair each mpi ``send`` instant with its matching ``recv``.
+
+        Returns ``(send_flows, recv_flows)`` mapping ``id(event)`` to a
+        shared flow id.  Pairing uses the piggybacked Lamport stamp
+        (``lam`` in both payloads) when the run kept a flight recorder
+        — exact, since send clocks are unique per rank — and falls back
+        to per-``(src, dest, tag)`` ordinal matching otherwise (one
+        channel is FIFO, and both endpoints are single-threaded, so the
+        k-th send matches the k-th recv).  Unmatched events (dropped by
+        the ring, or still in flight) get no flow.
+        """
+        recv_by_lam: dict[tuple, TraceEvent] = {}
+        recv_ord: dict[tuple, list[TraceEvent]] = {}
+        for e in self.events:
+            if e.category != "mpi" or e.name != "recv" or not e.payload:
+                continue
+            key = (e.payload.get("source"), e.rank, e.payload.get("tag"))
+            lam = e.payload.get("lam", 0)
+            if lam:
+                recv_by_lam[key + (lam,)] = e
+            else:
+                recv_ord.setdefault(key, []).append(e)
+        send_flows: dict[int, int] = {}
+        recv_flows: dict[int, int] = {}
+        ord_idx: dict[tuple, int] = {}
+        next_id = 0
+        for e in self.events:
+            if e.category != "mpi" or e.name != "send" or not e.payload:
+                continue
+            key = (e.rank, e.payload.get("dest"), e.payload.get("tag"))
+            lam = e.payload.get("lam", 0)
+            match = None
+            if lam:
+                match = recv_by_lam.get(key + (lam,))
+            else:
+                i = ord_idx.get(key, 0)
+                candidates = recv_ord.get(key)
+                if candidates and i < len(candidates):
+                    match = candidates[i]
+                    ord_idx[key] = i + 1
+            if match is not None:
+                next_id += 1
+                send_flows[id(e)] = next_id
+                recv_flows[id(match)] = next_id
+        return send_flows, recv_flows
+
     def _chrome_records(self):
         """Yield Chrome ``trace_event`` records one at a time."""
         roles: dict = self.meta.get("roles", {})
@@ -207,6 +265,7 @@ class Trace:
                 "tid": rank,
                 "args": {"name": "rank %d (%s)" % (rank, role)},
             }
+        send_flows, recv_flows = self._message_flows()
         for e in self.events:
             rec: dict = {
                 "name": e.name,
@@ -224,6 +283,36 @@ class Trace:
             if e.payload:
                 rec["args"] = dict(e.payload)
             yield rec
+            if e.category != "mpi":
+                continue
+            # Flow events ("s" start at the send, "f" finish bound to
+            # the end of the recv span) let Perfetto draw cross-rank
+            # message arrows.  from_chrome skips non-X/i phases, so the
+            # round-trip stays lossless for the event list itself.
+            fid = send_flows.get(id(e))
+            if fid is not None:
+                yield {
+                    "ph": "s",
+                    "id": fid,
+                    "name": "msg",
+                    "cat": "mpi.flow",
+                    "pid": 0,
+                    "tid": e.rank,
+                    "ts": e.t * 1e6,
+                }
+                continue
+            fid = recv_flows.get(id(e))
+            if fid is not None:
+                yield {
+                    "ph": "f",
+                    "bp": "e",
+                    "id": fid,
+                    "name": "msg",
+                    "cat": "mpi.flow",
+                    "pid": 0,
+                    "tid": e.rank,
+                    "ts": e.end * 1e6,
+                }
 
     def _chrome_other_data(self) -> dict:
         return {

@@ -74,6 +74,12 @@ class Engine:
         self.retries_enabled = retries_enabled
         self.faults = faults
         self.journal = journal
+        # Always-on flight recorder (may be None), shared via the world.
+        # The runtime constructs the engine before its client exists
+        # and re-points this when it attaches one.
+        self.flightrec = (
+            client.comm.world.flightrec if client is not None else None
+        )
         # Buffered rule-lifecycle journal entries, streamed to the
         # anchor server at dispatch boundaries (always immediately
         # before a fault kill-point, so the journal is exact at death).
@@ -116,6 +122,10 @@ class Engine:
             name=name,
         )
         self.stats.rules_created += 1
+        if self.flightrec is not None:
+            self.flightrec.record(
+                self.client.rank, "rule_create", rule.id, len(set(inputs))
+            )
         if self.tracer is not None:
             # Lineage: which TDs this rule waits on, and which unit of
             # work registered it (the spawn edge of the run DAG).
@@ -184,6 +194,10 @@ class Engine:
             return
         buf = self._jbuf
         self._jbuf = []
+        if self.flightrec is not None:
+            self.flightrec.record(
+                self.client.rank, "journal_flush", len(buf)
+            )
         self.client.journal(buf)
         self.journal_stats.flushes += 1
 
@@ -291,6 +305,10 @@ class Engine:
                 self.journal_flush()
             if rule.type == "LOCAL":
                 self.stats.rules_fired_local += 1
+                if self.flightrec is not None:
+                    self.flightrec.record(
+                        self.client.rank, "rule_fire", rule.id
+                    )
                 directive = None
                 if faults is not None:
                     directive = faults.on_task(self.client.rank, rule.action)
@@ -351,6 +369,10 @@ class Engine:
                 # The rule's accounting unit transfers to the task; the
                 # executing rank decrements after running it.
                 self.stats.tasks_released += 1
+                if self.flightrec is not None:
+                    self.flightrec.record(
+                        self.client.rank, "rule_release", rule.id, rule.type
+                    )
                 if tracer is not None:
                     tracer.instant(
                         self.client.rank,
@@ -401,6 +423,10 @@ class Engine:
         """
         self.journal_stats.adoptions += 1
         self.journal_stats.adopted_rules += len(rules)
+        if self.flightrec is not None:
+            self.flightrec.record(
+                self.client.rank, "adopt", dead, len(rules), repair
+            )
         if self.tracer is not None:
             self.tracer.instant(
                 self.client.rank,
@@ -571,6 +597,8 @@ class Engine:
                 self.on_close(msg[1])
             elif kind == "ctask":
                 self.stats.control_tasks_run += 1
+                if self.flightrec is not None:
+                    self.flightrec.record(rank, "ctask", len(msg[2]))
                 directive = None
                 if self.faults is not None:
                     directive = self.faults.on_task(rank, msg[2])

@@ -20,6 +20,7 @@ from ..adlb.client import AdlbClient
 from ..adlb.layout import Layout
 from ..adlb.server import Server, ServerStats
 from ..faults import (
+    DeadlineExceeded,
     EngineLost,
     FaultState,
     RankKilled,
@@ -109,6 +110,17 @@ class RuntimeConfig:
     # Seeded fault-injection plan (repro.faults.FaultPlan) or None.
     # The faults-off path costs a single `is None` test per hook.
     faults: Any | None = None
+    # Always-on flight recorder (repro.obs.flightrec): bounded per-rank
+    # rings of lifecycle events with Lamport clocks, snapshotted into a
+    # black-box artifact on any failure path.  Unlike trace, this is ON
+    # by default — the rings are preallocated and the per-event cost is
+    # a few index assignments, bounded by the bench_obs_overhead guard.
+    flightrec: bool = True
+    # Events retained per rank before the ring wraps.
+    flightrec_capacity: int = 512
+    # Directory for blackbox-*.json dumps on failure; None keeps the
+    # black box in memory only (exception .blackbox / RunResult.blackbox).
+    blackbox_dir: str | None = None
     # Run-invariant auditing (repro.chaos.invariants): each rank
     # snapshots its terminal bookkeeping state (leases, journals,
     # dedup slots, pending refcounts, termination counter) once at
@@ -257,6 +269,13 @@ class RunResult:
     # FaultStats of the run's FaultPlan (None when no plan attached):
     # how many injections actually fired, independent of tracing.
     fault_stats: Any | None = None
+    # Flight-recorder black box (dict) captured when the run completed
+    # with failures or quarantined units; None on clean runs or with
+    # flightrec=False.  Aborting failures carry theirs on the raised
+    # exception instead (e.blackbox / e.blackbox_path).
+    blackbox: Any | None = None
+    # Path of the written blackbox-*.json (when blackbox_dir was set).
+    blackbox_path: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -318,6 +337,7 @@ def make_client_interp(
     if engine is not None:
         engine.client = client
         engine.interp = interp
+        engine.flightrec = client.comm.world.flightrec
     register_turbine(interp, client, ctx, engine=engine)
     interp.eval(TURBINE_TCL)
     if ctx.config.args:
@@ -389,6 +409,13 @@ def run_turbine_program(
         or config.task_timeout is not None
     )
     faults = FaultState(config.faults) if config.faults is not None else None
+    flightrec = None
+    if config.flightrec:
+        from ..obs.flightrec import FlightRecorder
+
+        flightrec = FlightRecorder(
+            config.size, capacity=config.flightrec_capacity
+        )
     # Reliable RPC (seq-stamped, re-sendable requests) is what lets
     # clients survive a lost server or a dropped message; it rides
     # along whenever either can actually happen.
@@ -564,6 +591,13 @@ def run_turbine_program(
             target=_sampler, name="repro-monitor", daemon=True
         )
         sampler.start()
+    def _dump_blackbox(box: Any) -> str | None:
+        if box is None or config.blackbox_dir is None:
+            return None
+        from ..obs.flightrec import write_blackbox
+
+        return write_blackbox(box, config.blackbox_dir)
+
     try:
         run_world(
             config.size,
@@ -571,6 +605,7 @@ def run_turbine_program(
             recv_timeout=config.recv_timeout,
             tracer=tracer,
             faults=faults,
+            flightrec=flightrec,
             rank_labels=rank_labels,
             deadline=config.deadline,
         )
@@ -578,10 +613,19 @@ def run_turbine_program(
         # A permanently failed unit of work is a *task* problem, not a
         # rank crash: surface the clean, traceback-bearing TaskError
         # instead of the rank-failure wrapper.  A lost server likewise
-        # surfaces as its own diagnostic (ServerLost).
+        # surfaces as its own diagnostic (ServerLost).  Either way the
+        # launcher's black box rides along on the surfaced exception.
+        box = getattr(e, "blackbox", None)
+        path = _dump_blackbox(box)
+        e.blackbox_path = path
         for _, exc in e.failures:
             if isinstance(exc, (TaskError, ServerLost, EngineLost)):
+                exc.blackbox = box
+                exc.blackbox_path = path
                 raise exc from None
+        raise
+    except DeadlineExceeded as e:
+        e.blackbox_path = _dump_blackbox(getattr(e, "blackbox", None))
         raise
     finally:
         if sampler_stop is not None:
@@ -590,9 +634,30 @@ def run_turbine_program(
             # One final sample so short runs still land a timeline row.
             monitor.sample(time.perf_counter() - t0)
     elapsed = time.perf_counter() - t0
+    blackbox = None
+    blackbox_path = None
+    if flightrec is not None and (failures or quarantined):
+        # The run drained to completion but carried failures or
+        # quarantined units: snapshot the rings so the poisoned
+        # dataflow is reconstructible after the fact.
+        blackbox = flightrec.blackbox(
+            reason="quarantine" if quarantined else "task-failures",
+            detail="%d failure(s), %d quarantined unit(s)"
+            % (len(failures), len(quarantined)),
+            roles=rank_labels,
+            failed_ranks=sorted({f.rank for f in failures}),
+        )
+        blackbox_path = _dump_blackbox(blackbox)
+    if flightrec is not None:
+        # Clean shutdown: run_world joined every rank, the rings are
+        # quiescent, and any snapshot above copied the rows it keeps —
+        # recycle the slots.  Aborting paths raised before this point
+        # and deliberately never release (stragglers may still stamp).
+        flightrec.release()
     trace = None
     if tracer is not None:
         from ..obs import RANK_DRIVER
+        from ..obs.report import feed_latency_histograms
 
         if faults is not None:
             tracer.metrics.fold_struct("fault", faults.stats)
@@ -603,6 +668,10 @@ def run_turbine_program(
             t0,
             payload={"size": config.size, "entry": entry},
         )
+        # Derive latency histograms (task latency, queue wait, dispatch
+        # delay) from the collected spans so Profile.render() has
+        # percentiles to show.
+        feed_latency_histograms(tracer, since=t0 - tracer.epoch)
         trace = tracer.freeze(
             meta={
                 "roles": {r: layout.role(r) for r in range(config.size)},
@@ -632,4 +701,6 @@ def run_turbine_program(
         quarantined=sorted(quarantined, key=lambda q: q.uid),
         audit=audit,
         fault_stats=faults.stats if faults is not None else None,
+        blackbox=blackbox,
+        blackbox_path=blackbox_path,
     )

@@ -137,6 +137,8 @@ class Worker:
             if task_timeout is not None
             else None
         )
+        # Always-on flight recorder (may be None), shared via the world.
+        self.flightrec = client.comm.world.flightrec
         # Provenance unit ids for tasks run on this worker
         # ("T<rank>.<n>"); counts executions, including retries.
         self._unit_seq = 0
@@ -189,6 +191,7 @@ class Worker:
     def _serve(self) -> WorkerStats:
         tracer = self.tracer
         faults = self.faults
+        flightrec = self.flightrec
         rank = self.client.rank
         wd = self._watchdog
         while True:
@@ -215,6 +218,8 @@ class Worker:
                     # Not a task failure: the whole rank dies holding
                     # its lease; recovery is the server's job.
                     raise RankKilled(rank, directive[1])
+            if flightrec is not None:
+                flightrec.record(rank, "task_start", len(payload))
             t0 = time.perf_counter()
             gen = wd.arm() if wd is not None else 0
             try:
@@ -235,6 +240,10 @@ class Worker:
                 if wd is not None and wd.disarm(gen):
                     self._abandon(rank, payload, tracer, unit, t0)
                     continue
+                if flightrec is not None:
+                    flightrec.record(
+                        rank, "task_fail", len(payload), type(e).__name__
+                    )
                 if tracer is not None:
                     # Failed attempts keep their span so grant instants
                     # stay aligned 1:1 with unit spans on this rank.
@@ -258,6 +267,8 @@ class Worker:
             t1 = time.perf_counter()
             self.stats.tasks_run += 1
             self.stats.busy_time += t1 - t0
+            if flightrec is not None:
+                flightrec.record(rank, "task_done", len(payload))
             if tracer is not None:
                 tracer.complete(
                     rank,
@@ -283,6 +294,10 @@ class Worker:
         interpreters are recycled in case the runaway task wedged them.
         """
         self.watchdog_stats.abandoned += 1
+        if self.flightrec is not None:
+            # The lone cross-thread ring write on this rank: the
+            # watchdog's failure oneway raced us, benign (see flightrec).
+            self.flightrec.record(rank, "task_abandon", len(payload))
         self.client.discard_pending_refcounts()
         self._recycle_interp()
         if tracer is not None:

@@ -55,11 +55,16 @@ class TestRun:
         assert main(["run", demo_swift, "--arg", "n=5"]) == 0
         assert "total=15" in capsys.readouterr().out
 
-    def test_run_failure_exit_code(self, tmp_path, capsys):
+    def test_run_failure_exit_code(self, tmp_path, capsys, monkeypatch):
+        # chdir: a failed CLI run dumps blackbox-*.json into the
+        # current directory by default.
+        monkeypatch.chdir(tmp_path)
         src = tmp_path / "fail.swift"
         src.write_text('assert(1 > 2, "always fails");')
         assert main(["run", str(src)]) == 3
-        assert "run failed" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "run failed" in err
+        assert "repro postmortem" in err
 
     def test_bad_arg_format(self, demo_swift):
         with pytest.raises(SystemExit):
@@ -130,7 +135,8 @@ class TestSubmit:
 
 
 class TestArgv:
-    def test_argv_missing_without_default_fails(self, tmp_path):
+    def test_argv_missing_without_default_fails(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # failed runs dump blackbox-*.json to cwd
         src = tmp_path / "needs.swift"
         src.write_text('printf("%s", argv("required"));')
         assert main(["run", str(src)]) == 3

@@ -134,6 +134,9 @@ class TestMetrics:
             "min": 1.0,
             "max": 3.0,
             "mean": 2.0,
+            "p50": 1.0,
+            "p95": 3.0,
+            "p99": 3.0,
         }
 
     def test_fold_struct_sums_across_ranks(self):
